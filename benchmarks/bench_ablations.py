@@ -1,0 +1,62 @@
+"""Ablation benches for the design choices of Section 4.5.
+
+* any-process initiation vs the earlier protocol's distinguished initiator;
+* separated logging phases / stream reductions vs result-logging;
+* 3-bit piggyback vs full-epoch piggyback;
+* C3's non-blocking protocol vs blocking coordinated checkpointing.
+"""
+
+from conftest import run_once
+
+from repro.harness import (
+    ablation_blocking_vs_nonblocking, ablation_initiation,
+    ablation_logging_phases, ablation_piggyback,
+)
+
+
+def test_ablation_initiation(benchmark):
+    out = run_once(benchmark, ablation_initiation)
+    print()
+    print("Ablation: checkpoint initiation")
+    for name, row in out.items():
+        print(f"  {name:14s} vt={row['virtual_seconds']:.6f}s "
+              f"control_msgs={row['control_msgs']} "
+              f"committed={row['committed']}")
+    # Both protocols must actually commit checkpoints.
+    assert out["any_process"]["committed"] >= 1
+    assert out["distinguished"]["committed"] >= 1
+
+
+def test_ablation_logging_phases(benchmark):
+    out = run_once(benchmark, ablation_logging_phases)
+    print()
+    print("Ablation: reduction handling / logging volume")
+    for name, row in out.items():
+        print(f"  {name:18s} vt={row['virtual_seconds']:.6f}s "
+              f"log_bytes={row['log_bytes']} events={row['events_logged']} "
+              f"late={row['late_logged']}")
+    # Result logging records events; stream-based reductions do not.
+    assert out["result_logging"]["events_logged"] >= 0
+    assert out["stream_reductions"]["events_logged"] == 0
+
+
+def test_ablation_piggyback(benchmark):
+    out = run_once(benchmark, ablation_piggyback)
+    print()
+    print("Ablation: piggyback codec (3-bit vs full epoch)")
+    print(f"  3bit vt={out['3bit']['virtual_seconds']:.6f}s  "
+          f"full vt={out['full']['virtual_seconds']:.6f}s  "
+          f"ratio={out['overhead_ratio']:.4f}")
+    # Piggybacking the full epoch costs strictly more wire time.
+    assert out["overhead_ratio"] >= 1.0
+
+
+def test_ablation_blocking_vs_nonblocking(benchmark):
+    out = run_once(benchmark, ablation_blocking_vs_nonblocking)
+    print()
+    print("Ablation: C3 non-blocking vs blocking coordinated checkpointing")
+    print(f"  original={out['original_s']:.6f}s c3={out['c3_s']:.6f}s "
+          f"blocking={out['blocking_s']:.6f}s "
+          f"(barrier stall {out['blocking_stall_s']:.6f}s)")
+    assert out["c3_s"] >= out["original_s"]
+    assert out["blocking_s"] >= out["original_s"]

@@ -1,0 +1,40 @@
+"""Checkpoint-interval sweep bench: the cost trade-off behind the paper's
+"once an hour / once a day" scaling argument, with Young's optimum."""
+
+from conftest import run_once
+
+from repro.apps import APPS
+from repro.harness.sweep import sweep_intervals
+
+
+def _sweep():
+    app = APPS["heat"]
+
+    def configured(ctx):
+        return app(ctx, local_n=24, niter=60)
+
+    return sweep_intervals(configured, 4,
+                           intervals_frac=(0.05, 0.1, 0.2, 0.4, 0.8))
+
+
+def test_checkpoint_interval_sweep(benchmark):
+    out = run_once(benchmark, _sweep)
+    print()
+    print("Checkpoint-interval sweep (heat, 4 ranks, failure at 63%)")
+    print(f"  failure-free runtime: {out['original_seconds'] * 1e3:.3f} ms, "
+          f"per-checkpoint cost: "
+          f"{(out['checkpoint_cost_seconds'] or 0) * 1e3:.4f} ms")
+    if out["young_optimum_seconds"]:
+        print(f"  Young optimum ~ {out['young_optimum_seconds'] * 1e3:.3f} ms")
+    for p in out["points"]:
+        print(f"  interval={p.interval * 1e3:7.3f} ms  ckpts={p.checkpoints:2d}  "
+              f"clean-ovh={p.overhead_pct:5.2f}%  "
+              f"with-failure total={p.recovered_seconds * 1e3:8.3f} ms  "
+              f"(cost {p.total_cost_seconds * 1e3:7.3f} ms)")
+    points = out["points"]
+    # frequent checkpointing costs more in failure-free overhead...
+    assert points[0].overhead_pct >= points[-1].overhead_pct
+    # ...but failures are cheaper to absorb than with sparse checkpoints
+    assert points[0].checkpoints > points[-1].checkpoints
+    # every configuration still completes correctly with the failure
+    assert all(p.recovered_seconds > 0 for p in points)

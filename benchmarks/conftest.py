@@ -1,0 +1,15 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table (or ablation) of the paper.  The
+drivers are deterministic virtual-time simulations, so a single round is
+meaningful; ``run_once`` wires that through pytest-benchmark and prints
+the paper-layout table so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the evaluation section.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with one warm round and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

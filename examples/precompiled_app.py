@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Precompiler example: an *uninstrumented* program made fault-tolerant.
+
+The application below is written as a plain function with ``# ccc:``
+directives — no ``ctx.state``, no resumable loops, just ordinary local
+variables.  ``repro.precompiler.instrument`` performs the Figure-1
+source-to-source transformation (the C3 precompiler's job): saved
+variables move into the checkpointable state, the setup section gets a
+replay guard, the marked loop becomes resumable, and the pragma comment
+becomes a real checkpoint site.  The instrumented program then survives
+an injected failure.
+
+Run: ``python examples/precompiled_app.py``
+"""
+
+import numpy as np
+
+from repro import (
+    C3Config, FaultPlan, FaultSpec, InMemoryStorage, run_fault_tolerant,
+    run_original,
+)
+from repro.mpi.ops import SUM
+from repro.precompiler import instrument
+
+
+def jacobi(ctx):
+    """Plain MPI-style code with ccc directives (pre-instrumentation)."""
+    # ccc: save(u, resid)
+    u = np.full(16, float(ctx.rank))
+    resid = 0.0
+    # ccc: setup-end
+    comm = ctx.comm
+    left = (ctx.rank - 1) % ctx.size
+    right = (ctx.rank + 1) % ctx.size
+    # ccc: loop(sweep)
+    for sweep in range(40):
+        # ccc: checkpoint
+        comm.Send(np.ascontiguousarray(u[-1:]), dest=right, tag=1)
+        ghost = np.zeros(1)
+        comm.Recv(ghost, source=left, tag=1)
+        new = u.copy()
+        new[1:] = 0.5 * (u[1:] + u[:-1])
+        new[0] = 0.5 * (u[0] + ghost[0])
+        delta = float(np.abs(new - u).max())
+        u = new
+        total = np.zeros(1)
+        comm.Allreduce(np.array([delta]), total, SUM)
+        resid = float(total[0])
+        ctx.compute(5e-5)
+    return round(float(u.sum() + resid), 9)
+
+
+def main() -> None:
+    app = instrument(jacobi)
+    print(f"instrumented {jacobi.__name__}: saved variables = "
+          f"{app.__ccc_saved__}, directives = {app.__ccc_directives__}")
+
+    ref = run_original(app, 4)
+    ref.raise_errors()
+    print(f"failure-free answer: {ref.returns[0]}")
+
+    res = run_fault_tolerant(
+        app, 4, storage=InMemoryStorage(),
+        config=C3Config(checkpoint_interval=6e-4),
+        fault_plan=FaultPlan([FaultSpec(rank=1, at_time=1.4e-3)]))
+    print(f"recovered answer:    {res.returns[0]}  "
+          f"(restarts={res.restarts}, "
+          f"from v{res.stats[0].restored_version})")
+    assert res.returns[0] == ref.returns[0]
+    print("precompiled program recovered exactly — OK")
+
+
+if __name__ == "__main__":
+    main()

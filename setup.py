@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path
+(pip does this automatically when the modern path is unavailable, or via
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

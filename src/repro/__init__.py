@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Implementation and Evaluation of a Scalable
+Application-Level Checkpoint-Recovery Scheme for MPI Programs" (SC 2004).
+
+The package provides:
+
+* :mod:`repro.mpi` — a simulated MPI runtime (the substrate);
+* :mod:`repro.core` — the C3 coordination layer (the contribution);
+* :mod:`repro.statesave` — application-level state saving;
+* :mod:`repro.storage` — stable storage, commit manifest, drain daemon;
+* :mod:`repro.precompiler` — the source-to-source instrumenter;
+* :mod:`repro.baselines` — Condor-style SLC, blocking coordinated
+  checkpointing, Chandy-Lamport;
+* :mod:`repro.apps` — NPB-style kernels and demo applications;
+* :mod:`repro.harness` — experiment drivers regenerating Tables 1-7.
+
+Quickstart::
+
+    from repro import run_fault_tolerant, C3Config, FaultPlan, FaultSpec
+
+    def app(ctx):
+        for step in ctx.range("t", 100):
+            ctx.checkpoint()          # ``#pragma ccc checkpoint``
+            ... compute and communicate through ctx.comm ...
+
+    result = run_fault_tolerant(
+        app, nprocs=8,
+        fault_plan=FaultPlan([FaultSpec(rank=3, after_ops=500)]),
+        config=C3Config(checkpoint_interval=1.0),
+    )
+"""
+
+from .core import (
+    C3Config, C3Protocol, C3RunResult, C3Stats, run_c3, run_fault_tolerant,
+    run_original,
+)
+from .mpi import (
+    CMI, FaultPlan, FaultSpec, LEMIEUX, MACHINES, MachineModel, TESTING,
+    VELOCITY2, run_job,
+)
+from .statesave import Context
+from .storage import DiskStorage, InMemoryStorage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_fault_tolerant", "run_c3", "run_original",
+    "C3Config", "C3Protocol", "C3Stats", "C3RunResult",
+    "Context", "run_job",
+    "FaultPlan", "FaultSpec",
+    "MachineModel", "MACHINES", "LEMIEUX", "VELOCITY2", "CMI", "TESTING",
+    "InMemoryStorage", "DiskStorage",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Benchmark applications (NPB analogs, SMG2000, HPL) and demo apps.
+
+Every application has the signature ``app(ctx, **params)``: it keeps all
+persistent data in ``ctx.state``, loops with ``ctx.range``, places its
+``#pragma ccc checkpoint`` at the documented Section-6.3 location, and
+charges modelled FLOPs with ``ctx.work``.  The same function runs in
+original mode, under C3 without checkpoints, and under C3 with
+checkpoint/restart.
+"""
+
+from .cg import cg
+from .ep import ep
+from .ft import ft
+from .heat import heat
+from .hpl import hpl
+from .is_sort import is_sort
+from .lu import lu
+from .mg import mg
+from .ring import ring
+from .smg2000 import smg2000
+from .sp import bt, sp
+
+#: registry used by the harness and the table drivers
+APPS = {
+    "CG": cg,
+    "LU": lu,
+    "SP": sp,
+    "BT": bt,
+    "MG": mg,
+    "EP": ep,
+    "FT": ft,
+    "IS": is_sort,
+    "SMG2000": smg2000,
+    "HPL": hpl,
+    "ring": ring,
+    "heat": heat,
+}
+
+__all__ = ["cg", "lu", "sp", "bt", "mg", "ep", "ft", "is_sort", "smg2000",
+           "hpl", "ring", "heat", "APPS"]

@@ -1,0 +1,52 @@
+"""FT — spectral (FFT) kernel (NPB FT analog).
+
+A 2D complex field, row-block partitioned.  Every iteration applies a
+local FFT along the resident axis, transposes through an all-to-all,
+applies the FFT along the other axis, and evolves the spectrum.  The
+complex state array makes FT's checkpoints among the largest (Table 1:
+~420 MB for class A), and the transpose is the canonical alltoall
+workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import checksum, seeded_rng
+
+
+def ft(ctx, local_rows: int = 8, row_len: int = 64, niter: int = 6,
+       work_scale: float = 1.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    row_len = max(size, (row_len // size) * size)
+
+    if ctx.first_time("setup"):
+        rng = seeded_rng("ft", rank)
+        field = (rng.standard_normal((local_rows, row_len))
+                 + 1j * rng.standard_normal((local_rows, row_len)))
+        ctx.state.field = field.astype(np.complex128)
+        ctx.state.scratch = np.zeros((local_rows, row_len), dtype=np.complex128)
+        ctx.done("setup")
+
+    s = ctx.state
+    n_total = local_rows * row_len
+    flops = 5.0 * n_total * np.log2(max(2, row_len)) * work_scale
+
+    for it in ctx.range("iter", niter):
+        ctx.checkpoint()
+        # FFT along the resident axis
+        spec = np.fft.fft(s.field, axis=1)
+        ctx.work(flops)
+        # transpose exchange
+        comm.Alltoall(np.ascontiguousarray(spec), s.scratch)
+        # FFT along the (logically) other axis
+        spec2 = np.fft.fft(s.scratch, axis=1)
+        ctx.work(flops)
+        # evolve: damp high modes, keep amplitudes bounded
+        k = np.arange(row_len) / row_len
+        spec2 = spec2 * np.exp(-0.01 * (it + 1) * k ** 2)
+        s.field = np.fft.ifft(spec2, axis=1)
+        ctx.work(flops)
+
+    return checksum(s.field.real, s.field.imag)

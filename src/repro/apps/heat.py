@@ -1,0 +1,63 @@
+"""Heat — 1D explicit heat-diffusion solver (domain-specific example).
+
+Block-partitioned rod with ghost-cell exchange each step: the canonical
+halo-exchange mini-app, used by the failure-injection example.  The rod's
+ends are held at fixed temperatures, so the steady state is a linear
+profile the example can verify after recovering from a mid-run failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.communicator import PROC_NULL
+from ..mpi.ops import MAX
+from .kernels import checksum
+
+
+def heat(ctx, local_n: int = 32, niter: int = 40, alpha: float = 0.4,
+         t_left: float = 100.0, t_right: float = 0.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    left = rank - 1 if rank > 0 else PROC_NULL
+    right = rank + 1 if rank + 1 < size else PROC_NULL
+
+    if ctx.first_time("setup"):
+        ctx.state.u = np.zeros(local_n)
+        if rank == 0:
+            ctx.state.u[0] = t_left
+        if rank == size - 1:
+            ctx.state.u[-1] = t_right
+        ctx.state.dmax = np.inf
+        ctx.done("setup")
+
+    s = ctx.state
+    for step in ctx.range("step", niter):
+        ctx.checkpoint()
+        u = s.u
+        ghost_l = np.array([u[0]])
+        ghost_r = np.array([u[-1]])
+        if left != PROC_NULL:
+            comm.Sendrecv(np.ascontiguousarray(u[:1]), left, 7,
+                          ghost_l, left, 8)
+        if right != PROC_NULL:
+            comm.Sendrecv(np.ascontiguousarray(u[-1:]), right, 8,
+                          ghost_r, right, 7)
+        new = u.copy()
+        new[1:-1] = u[1:-1] + alpha * (u[:-2] - 2 * u[1:-1] + u[2:])
+        if left != PROC_NULL:
+            new[0] = u[0] + alpha * (ghost_l[0] - 2 * u[0] + u[1])
+        if right != PROC_NULL:
+            new[-1] = u[-1] + alpha * (u[-2] - 2 * u[-1] + ghost_r[0])
+        # clamp the physical boundary conditions
+        if rank == 0:
+            new[0] = t_left
+        if rank == size - 1:
+            new[-1] = t_right
+        delta = float(np.abs(new - u).max())
+        s.u = new
+        dmax = np.zeros(1)
+        comm.Allreduce(np.array([delta]), dmax, MAX)
+        s.dmax = float(dmax[0])
+        ctx.work(6.0 * local_n)
+    return checksum(s.u, [s.dmax])

@@ -1,0 +1,79 @@
+"""HPL — high-performance Linpack analog.
+
+Blocked LU factorization with panel broadcasts.  The paper's checkpoint
+placement is "at the top of the innermost driver loop in main"
+(Section 6.3): *between* problem instances, where the live state is just
+the trial cursor and the residual results.  The factorization matrix is
+regenerated from its seed at the start of each trial, which is why HPL's
+checkpoints in Tables 4-5 are tiny (0.02-0.43 MB) despite the matrix
+being the largest object in the run — a textbook example of trading
+state-saving for recomputation (Section 8).
+
+The matrix is replicated (every rank holds the full factorization so the
+numerics are identical everywhere); the *work* of each trailing update is
+modelled as distributed by charging 1/nprocs of its FLOPs per rank, and
+each panel is broadcast by its owner exactly as HPL broadcasts panels
+along process rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.ops import MAX
+from .kernels import checksum, seeded_rng
+
+
+def hpl(ctx, n: int = 96, block: int = 16, trials: int = 4,
+        work_scale: float = 1.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    nblocks = (n + block - 1) // block
+
+    if ctx.first_time("setup"):
+        ctx.state.residuals = np.zeros(trials)
+        ctx.done("setup")
+
+    s = ctx.state
+
+    for trial in ctx.range("trial", trials):
+        ctx.checkpoint()  # the innermost driver loop pragma
+        # Regenerate this trial's matrix from the seed — recomputation
+        # instead of state saving (same matrix on every rank).
+        rng = seeded_rng("hpl", 0, extra=trial)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        b = rng.standard_normal(n)
+        lu = a.copy()
+        panel = np.zeros((n, block))
+        for k in range(nblocks):
+            k0, k1 = k * block, min((k + 1) * block, n)
+            width = k1 - k0
+            owner = k % size
+            if rank == owner:
+                # factor the panel columns (unblocked, no pivoting needed:
+                # the matrix is strongly diagonally dominant)
+                for j in range(k0, k1):
+                    lu[j + 1:, j] /= lu[j, j]
+                    lu[j + 1:, j + 1:k1] -= np.outer(lu[j + 1:, j],
+                                                     lu[j, j + 1:k1])
+                panel[:, :width] = lu[:, k0:k1]
+            comm.Bcast(panel, root=owner)
+            lu[:, k0:k1] = panel[:, :width]
+            # trailing update (replicated data, distributed work charge)
+            if k1 < n:
+                l21 = lu[k1:, k0:k1]
+                u12 = lu[k0:k1, k1:].copy()
+                for j in range(width):
+                    u12[j + 1:] -= np.outer(lu[k0 + j + 1:k1, k0 + j], u12[j])
+                lu[k0:k1, k1:] = u12
+                lu[k1:, k1:] -= l21 @ u12
+            ctx.work(2.0 * (n - k1) * width * max(1, n - k1) / size
+                     * work_scale)
+        x = np.linalg.solve(np.tril(lu, -1) + np.eye(n), b)
+        x = np.linalg.solve(np.triu(lu), x)
+        resid_local = np.array([float(np.abs(a @ x - b).max())])
+        resid = np.zeros(1)
+        comm.Allreduce(resid_local, resid, MAX)
+        s.residuals[trial] = float(resid[0])
+
+    return checksum(s.residuals)

@@ -1,0 +1,58 @@
+"""IS — integer bucket sort (NPB IS analog).
+
+Each iteration ranks a fresh batch of random keys: a local histogram, an
+allreduce to agree on global bucket boundaries, an all-to-all exchange
+of keys by destination bucket (padded to the maximum bucket size, since
+NPB IS also exchanges with alltoallv-style traffic), and a local sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.ops import MAX, SUM
+from .kernels import checksum, seeded_rng
+
+
+def is_sort(ctx, keys_per_rank: int = 2048, key_max: int = 1 << 16,
+            niter: int = 6, work_scale: float = 1.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    bucket_width = (key_max + size - 1) // size
+
+    if ctx.first_time("setup"):
+        ctx.state.digest = 0.0
+        ctx.done("setup")
+
+    s = ctx.state
+
+    for it in ctx.range("iter", niter):
+        ctx.checkpoint()
+        rng = seeded_rng("is", rank, extra=it)
+        keys = rng.integers(0, key_max, size=keys_per_rank, dtype=np.int64)
+        dest = np.minimum(keys // bucket_width, size - 1)
+        ctx.work(6.0 * keys_per_rank * work_scale)
+        # per-destination counts; agree on the padded exchange width
+        counts = np.bincount(dest, minlength=size).astype(np.int64)
+        max_count = np.zeros(1, dtype=np.int64)
+        comm.Allreduce(counts.max(keepdims=True), max_count, MAX)
+        width = int(max_count[0])
+        # pack keys into padded per-destination slots (-1 = padding)
+        sendbuf = np.full((size, width), -1, dtype=np.int64)
+        for d in range(size):
+            mine = keys[dest == d]
+            sendbuf[d, :len(mine)] = mine
+        recvbuf = np.empty((size, width), dtype=np.int64)
+        comm.Alltoall(sendbuf, recvbuf)
+        got = recvbuf[recvbuf >= 0]
+        got_sorted = np.sort(got)
+        ctx.work(float(len(got)) * np.log2(max(2, len(got))) * work_scale)
+        # verify bucket invariant and fold into the running digest
+        lo, hi = rank * bucket_width, (rank + 1) * bucket_width
+        if len(got_sorted) and (got_sorted[0] < lo or got_sorted[-1] >= min(hi, key_max)):
+            raise AssertionError("IS bucket invariant violated")
+        total = np.zeros(1, dtype=np.int64)
+        comm.Allreduce(np.array([len(got)], dtype=np.int64), total, SUM)
+        s.digest += float(got_sorted.sum() % (1 << 31)) + float(total[0])
+
+    return float(s.digest)

@@ -1,0 +1,88 @@
+"""LU — SSOR wavefront solver (NPB LU analog).
+
+2D processor grid; each time step performs a lower-triangular sweep (data
+flows from the north-west corner: receive from north and west, relax the
+local block, send to south and east) and a symmetric upper-triangular
+sweep in the opposite direction.  Pure point-to-point pipelining, no
+barriers — the communication structure that motivates non-blocking
+coordinated checkpointing.  The pragma sits at the bottom of the
+``istep`` loop in ``ssor`` (Section 6.3) = the top of the next iteration.
+
+Non-blocking receives are used for the incoming halos, so LU also
+exercises the request indirection table across recovery lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.communicator import PROC_NULL
+from ..core.ccc import cached_comm
+from .kernels import checksum, grid_2d, seeded_rng
+
+
+def lu(ctx, local_nx: int = 16, local_ny: int = 16, niter: int = 10,
+       work_scale: float = 1.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    py, px = grid_2d(size)
+    cart = cached_comm(ctx, "grid", lambda: comm.Cart_create(
+        (py, px), (False, False)))
+    north, south = cart.Shift(0, 1)
+    west, east = cart.Shift(1, 1)
+
+    if ctx.first_time("setup"):
+        rng = seeded_rng("lu", rank)
+        ctx.state.u = rng.standard_normal((local_ny, local_nx)) * 0.01 + 1.0
+        ctx.state.halo_n = np.zeros(local_nx)
+        ctx.state.halo_w = np.zeros(local_ny)
+        ctx.state.halo_s = np.zeros(local_nx)
+        ctx.state.halo_e = np.zeros(local_ny)
+        ctx.done("setup")
+
+    s = ctx.state
+    flops = 10.0 * local_nx * local_ny * work_scale
+
+    for it in ctx.range("istep", niter):
+        ctx.checkpoint()
+        # ---- lower sweep: NW -> SE wavefront -------------------------------
+        reqs = []
+        if north != PROC_NULL:
+            reqs.append(cart.Irecv(s.halo_n, source=north, tag=10))
+        if west != PROC_NULL:
+            reqs.append(cart.Irecv(s.halo_w, source=west, tag=11))
+        if reqs:
+            cart.Waitall(reqs)
+        u = s.u
+        top = s.halo_n if north != PROC_NULL else np.zeros(local_nx)
+        left = s.halo_w if west != PROC_NULL else np.zeros(local_ny)
+        u[0, :] = 0.8 * u[0, :] + 0.1 * top + 0.1 * u[0, :].mean()
+        u[:, 0] = 0.8 * u[:, 0] + 0.1 * left + 0.1 * u[:, 0].mean()
+        u[1:, :] = 0.9 * u[1:, :] + 0.1 * u[:-1, :]
+        u[:, 1:] = 0.9 * u[:, 1:] + 0.1 * u[:, :-1]
+        ctx.work(flops)
+        if south != PROC_NULL:
+            cart.Send(np.ascontiguousarray(u[-1, :]), dest=south, tag=10)
+        if east != PROC_NULL:
+            cart.Send(np.ascontiguousarray(u[:, -1]), dest=east, tag=11)
+        # ---- upper sweep: SE -> NW wavefront -------------------------------
+        reqs = []
+        if south != PROC_NULL:
+            reqs.append(cart.Irecv(s.halo_s, source=south, tag=12))
+        if east != PROC_NULL:
+            reqs.append(cart.Irecv(s.halo_e, source=east, tag=13))
+        if reqs:
+            cart.Waitall(reqs)
+        bottom = s.halo_s if south != PROC_NULL else np.zeros(local_nx)
+        right = s.halo_e if east != PROC_NULL else np.zeros(local_ny)
+        u[-1, :] = 0.8 * u[-1, :] + 0.1 * bottom + 0.1 * u[-1, :].mean()
+        u[:, -1] = 0.8 * u[:, -1] + 0.1 * right + 0.1 * u[:, -1].mean()
+        u[:-1, :] = 0.9 * u[:-1, :] + 0.1 * u[1:, :]
+        u[:, :-1] = 0.9 * u[:, :-1] + 0.1 * u[:, 1:]
+        ctx.work(flops)
+        if north != PROC_NULL:
+            cart.Send(np.ascontiguousarray(u[0, :]), dest=north, tag=12)
+        if west != PROC_NULL:
+            cart.Send(np.ascontiguousarray(u[:, 0]), dest=west, tag=13)
+
+    return checksum(s.u)

@@ -1,0 +1,76 @@
+"""MG — multigrid V-cycle solver (NPB MG analog).
+
+The only NAS benchmark that calls ``MPI_Barrier`` during the computation
+(Section 6, "only MG calls MPI_Barrier during the computation"), which is
+why it matters for the protocol: barriers are collectives that can cross
+a recovery line like any other.  1D domain, a hierarchy of grids; each
+V-cycle smooths with neighbor halo exchanges at every level, restricts
+down and prolongates back, with a barrier separating cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.ops import SUM
+from .kernels import checksum, seeded_rng
+
+
+def mg(ctx, local_n: int = 64, levels: int = 4, niter: int = 6,
+       work_scale: float = 1.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    left, right = (rank - 1) % size, (rank + 1) % size
+    if local_n % (1 << (levels - 1)):
+        local_n = (1 << (levels - 1)) * max(1, local_n // (1 << (levels - 1)))
+
+    if ctx.first_time("setup"):
+        rng = seeded_rng("mg", rank)
+        for lv in range(levels):
+            n = local_n >> lv
+            ctx.state[f"v{lv}"] = rng.standard_normal(n) * 0.01
+        ctx.state.resid = 1.0
+        ctx.done("setup")
+
+    s = ctx.state
+
+    def smooth(lv: int) -> None:
+        v = s[f"v{lv}"]
+        # halo exchange with ring neighbors
+        recv_l = np.zeros(1)
+        recv_r = np.zeros(1)
+        comm.Sendrecv(np.ascontiguousarray(v[-1:]), right, 20 + lv,
+                      recv_l, left, 20 + lv)
+        comm.Sendrecv(np.ascontiguousarray(v[:1]), left, 40 + lv,
+                      recv_r, right, 40 + lv)
+        out = v.copy()
+        out[1:-1] = 0.5 * v[1:-1] + 0.25 * (v[:-2] + v[2:])
+        out[0] = 0.5 * v[0] + 0.25 * (recv_l[0] + v[1 % len(v)])
+        out[-1] = 0.5 * v[-1] + 0.25 * (v[-2] + recv_r[0])
+        s[f"v{lv}"] = out
+        ctx.work(4.0 * len(v) * work_scale)
+
+    for it in ctx.range("cycle", niter):
+        ctx.checkpoint()
+        # descend: smooth + restrict
+        for lv in range(levels - 1):
+            smooth(lv)
+            fine = s[f"v{lv}"]
+            s[f"v{lv + 1}"] = 0.5 * (fine[0::2] + fine[1::2])
+        smooth(levels - 1)
+        # ascend: prolongate + smooth
+        for lv in range(levels - 2, -1, -1):
+            coarse = s[f"v{lv + 1}"]
+            fine = s[f"v{lv}"]
+            fine[0::2] += 0.5 * coarse
+            fine[1::2] += 0.5 * coarse
+            smooth(lv)
+        # residual norm + the barrier MG is known for
+        local = np.array([float(s.v0 @ s.v0)])
+        total = np.zeros(1)
+        comm.Allreduce(local, total, SUM)
+        s.resid = float(total[0])
+        s.v0 = s.v0 / (1.0 + np.sqrt(s.resid) * 1e-3)
+        comm.Barrier()
+
+    return checksum(s.v0, [s.resid])

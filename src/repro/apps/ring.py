@@ -1,0 +1,33 @@
+"""Ring — the minimal demo application (used by the quickstart)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.ops import SUM
+from .kernels import checksum
+
+
+def ring(ctx, payload: int = 16, niter: int = 12, work: float = 1e-4):
+    """Pass a growing payload around the ring; allreduce a running sum."""
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    right, left = (rank + 1) % size, (rank - 1) % size
+
+    if ctx.first_time("setup"):
+        ctx.state.x = np.arange(payload, dtype=np.float64) * (rank + 1)
+        ctx.state.total = 0.0
+        ctx.done("setup")
+
+    s = ctx.state
+    for it in ctx.range("it", niter):
+        ctx.checkpoint()
+        comm.Send(s.x, dest=right, tag=1)
+        buf = np.empty(payload)
+        comm.Recv(buf, source=left, tag=1)
+        s.x = buf * 0.99 + it
+        out = np.zeros(1)
+        comm.Allreduce(np.array([float(s.x.sum())]), out, SUM)
+        s.total += float(out[0])
+        ctx.compute(work)
+    return checksum(s.x, [s.total])

@@ -1,0 +1,96 @@
+"""SMG2000 — semicoarsening multigrid (ASCI Purple benchmark analog).
+
+SMG2000's signature behavior is a very large number of *small* messages
+per cycle: halo exchanges in all four directions at every level of a deep
+semicoarsened hierarchy.  That is what makes it the outlier of Tables 2-3
+(the per-message C3 piggyback cost hits it hardest, catastrophically so
+on Velocity 2).  The paper places eight checkpoint locations in SMG2000,
+both inside and outside the main loops (Section 6.3); this analog places
+pragmas in the PCG driver loop and inside the V-cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ccc import cached_comm
+from ..mpi.communicator import PROC_NULL
+from ..mpi.ops import SUM
+from .kernels import checksum, grid_2d, seeded_rng
+
+
+def smg2000(ctx, local_n: int = 16, levels: int = 5, niter: int = 4,
+            work_scale: float = 1.0):
+    comm = ctx.comm
+    rank, size = ctx.rank, ctx.size
+    py, px = grid_2d(size)
+    cart = cached_comm(ctx, "grid", lambda: comm.Cart_create(
+        (py, px), (True, True)))
+    north, south = cart.Shift(0, 1)
+    west, east = cart.Shift(1, 1)
+
+    if ctx.first_time("setup"):
+        rng = seeded_rng("smg", rank)
+        for lv in range(levels):
+            n = max(2, local_n >> lv)
+            ctx.state[f"u{lv}"] = rng.standard_normal((n, n)) * 0.01
+        ctx.state.rnorm = 1.0
+        ctx.done("setup")
+
+    s = ctx.state
+
+    def halo_smooth(lv: int) -> None:
+        """Four small halo exchanges + a cheap relaxation at one level."""
+        u = s[f"u{lv}"]
+        n = u.shape[0]
+        row_n = np.zeros(n)
+        row_s = np.zeros(n)
+        col_w = np.zeros(n)
+        col_e = np.zeros(n)
+        cart.Sendrecv(np.ascontiguousarray(u[0, :]), north, 60 + lv,
+                      row_s, south, 60 + lv)
+        cart.Sendrecv(np.ascontiguousarray(u[-1, :]), south, 80 + lv,
+                      row_n, north, 80 + lv)
+        cart.Sendrecv(np.ascontiguousarray(u[:, 0]), west, 100 + lv,
+                      col_e, east, 100 + lv)
+        cart.Sendrecv(np.ascontiguousarray(u[:, -1]), east, 120 + lv,
+                      col_w, west, 120 + lv)
+        out = u.copy()
+        out[1:-1, 1:-1] = (0.5 * u[1:-1, 1:-1]
+                           + 0.125 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                                      + u[1:-1, :-2] + u[1:-1, 2:]))
+        out[0, :] += 0.125 * row_n
+        out[-1, :] += 0.125 * row_s
+        out[:, 0] += 0.125 * col_w
+        out[:, -1] += 0.125 * col_e
+        s[f"u{lv}"] = out * 0.98
+        ctx.work(8.0 * n * n * work_scale)
+
+    for it in ctx.range("pcg", niter):
+        if ctx.phase_pending("pcg", "down"):
+            ctx.checkpoint()  # top of the while-i loop in hypre_PCGSolve
+            # V-cycle with semicoarsening: smooth twice per level on the
+            # way down (that is where the message count explodes)
+            for lv in range(levels):
+                halo_smooth(lv)
+                halo_smooth(lv)
+                if lv + 1 < levels:
+                    fine = s[f"u{lv}"]
+                    nc = s[f"u{lv + 1}"].shape[0]
+                    s[f"u{lv + 1}"] = fine[:2 * nc:2, :2 * nc:2] * 0.5
+            ctx.phase_done("pcg", "down")
+        if ctx.phase_pending("pcg", "up"):
+            ctx.checkpoint()  # top of the for-i loop in hypre_SMGSolve
+            for lv in range(levels - 2, -1, -1):
+                coarse = s[f"u{lv + 1}"]
+                fine = s[f"u{lv}"]
+                nc = coarse.shape[0]
+                fine[:2 * nc:2, :2 * nc:2] += 0.25 * coarse
+                halo_smooth(lv)
+            local = np.array([float((s.u0 ** 2).sum())])
+            total = np.zeros(1)
+            comm.Allreduce(local, total, SUM)
+            s.rnorm = float(total[0])
+            ctx.phase_done("pcg", "up")
+
+    return checksum(s.u0, [s.rnorm])

@@ -1,0 +1,15 @@
+"""Baseline checkpointing systems the paper compares against or argues from."""
+
+from .blocking import BlockingCheckpointer, BlockingStats, run_blocking
+from .chandy_lamport import ChandyLamport, MARKER_TAG
+from .condor import (
+    C3_METADATA_BYTES, CONDOR_RUNTIME_BYTES, CondorCheckpointer, ImageSizes,
+    measure_sizes,
+)
+
+__all__ = [
+    "run_blocking", "BlockingCheckpointer", "BlockingStats",
+    "ChandyLamport", "MARKER_TAG",
+    "CondorCheckpointer", "ImageSizes", "measure_sizes",
+    "C3_METADATA_BYTES", "CONDOR_RUNTIME_BYTES",
+]

@@ -1,0 +1,117 @@
+"""Blocking coordinated checkpointing baseline.
+
+The classic alternative C3 argues against: stop the world at a global
+barrier, drain the network, snapshot every process, barrier again, and
+continue.  Correct and simple — but every checkpoint costs two global
+barriers plus the full synchronization stall of the slowest process, and
+it *requires* the application to reach global barriers, which HPL and
+most of the NAS benchmarks do not do outside initialization (Section 1).
+
+The baseline installs a pragma hook that performs the blocking protocol,
+so it runs the same instrumented applications as C3; the ablation bench
+compares its stall time against C3's non-blocking overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..mpi.api import MPI
+from ..mpi.engine import JobResult, run_job
+from ..mpi.timemodel import MachineModel, TESTING
+from ..statesave.checkpointfile import CheckpointWriter
+from ..statesave.context import Context
+from ..storage.stable import InMemoryStorage, StorageBackend
+from ..core.protocol import SERIALIZE_BANDWIDTH
+
+
+@dataclass
+class BlockingStats:
+    checkpoints: int = 0
+    barrier_stall: float = 0.0   # virtual seconds spent in the two barriers
+    checkpoint_bytes: int = 0
+
+
+class BlockingCheckpointer:
+    """Barrier-coordinated checkpointing of the application state."""
+
+    def __init__(self, mpi: MPI, storage: StorageBackend,
+                 interval_pragmas: Optional[int] = None,
+                 save_to_disk: bool = True):
+        # A timer cannot drive a *blocking* protocol: per-rank clocks drift,
+        # so one rank would enter the barrier while another does not — the
+        # coordination problem C3's non-blocking protocol exists to solve.
+        # The blocking baseline therefore triggers on the pragma COUNT,
+        # which is aligned across ranks for collectively-structured codes
+        # (and is why blocking checkpointing needs global barriers at all).
+        self.mpi = mpi
+        self.storage = storage
+        self.interval_pragmas = interval_pragmas
+        self.save_to_disk = save_to_disk
+        self.ctx: Optional[Context] = None
+        self.stats = BlockingStats()
+        self._pragmas = 0
+        self._version = 0
+
+    def bind(self, ctx: Context) -> None:
+        self.ctx = ctx
+
+    def pragma(self, force: bool = False) -> None:
+        self._pragmas += 1
+        if not force and (self.interval_pragmas is None
+                          or self._pragmas % self.interval_pragmas != 0):
+            return
+        comm = self.mpi.COMM_WORLD
+        t0 = self.mpi.Wtime()
+        comm.Barrier()           # drain: everyone reaches the same point
+        self._version += 1
+        writer = CheckpointWriter(self.storage, self._version, self.mpi.rank,
+                                  dry_run=not self.save_to_disk)
+        writer.save("app", self.ctx.snapshot_state())
+        self.mpi.compute(writer.bytes_written / SERIALIZE_BANDWIDTH)
+        if self.save_to_disk:
+            self.mpi.compute(
+                self.mpi._ctx.machine.disk_write_time(writer.bytes_written))
+        writer.commit()
+        comm.Barrier()           # nobody proceeds until every rank committed
+        self.stats.checkpoints += 1
+        self.stats.barrier_stall += self.mpi.Wtime() - t0
+        self.stats.checkpoint_bytes = writer.bytes_written
+
+
+def _blocking_main(mpi: MPI, app: Callable, storage: StorageBackend,
+                   interval_pragmas: Optional[int], save_to_disk: bool,
+                   app_args: Tuple):
+    ckpt = BlockingCheckpointer(mpi, storage,
+                                interval_pragmas=interval_pragmas,
+                                save_to_disk=save_to_disk)
+    ctx = Context(mpi, pragma_hook=ckpt.pragma)
+    ckpt.bind(ctx)
+    result = app(ctx, *app_args)
+    return result, ckpt.stats
+
+
+def run_blocking(app: Callable, nprocs: int, machine: MachineModel = TESTING,
+                 storage: Optional[StorageBackend] = None,
+                 interval_pragmas: Optional[int] = None,
+                 save_to_disk: bool = True,
+                 app_args: Tuple = (), wall_timeout: float = 300.0
+                 ) -> Tuple[JobResult, List[Optional[BlockingStats]]]:
+    """Run an instrumented app under blocking coordinated checkpointing."""
+    storage = storage if storage is not None else InMemoryStorage()
+    result = run_job(nprocs, _blocking_main,
+                     args=(app, storage, interval_pragmas, save_to_disk,
+                           app_args),
+                     machine=machine, wall_timeout=wall_timeout)
+    stats: List[Optional[BlockingStats]] = []
+    returns = []
+    for r in result.returns:
+        if isinstance(r, tuple) and len(r) == 2 and isinstance(r[1], BlockingStats):
+            returns.append(r[0])
+            stats.append(r[1])
+        else:
+            returns.append(None)
+            stats.append(None)
+    result.returns = returns
+    return result, stats

@@ -1,0 +1,172 @@
+"""Top-level C3 runner: make an application fault-tolerant and run it.
+
+The Figure-1 pipeline, in library form: an application written against the
+:class:`~repro.statesave.context.Context` API (or instrumented into that
+form by :mod:`repro.precompiler`) is linked with the coordination layer
+and executed on the simulated MPI runtime.  On a fail-stop fault the job
+aborts; :func:`run_fault_tolerant` relaunches it, each rank restores from
+the last recovery line committed on all nodes, and execution resumes.
+
+Three entry points:
+
+* :func:`run_original` — the uninstrumented application (baseline rows of
+  Tables 2-3);
+* :func:`run_c3` — one run under the coordination layer (optionally with
+  fault injection); returns per-rank protocol stats;
+* :func:`run_fault_tolerant` — run + restart loop until completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..mpi.api import MPI
+from ..mpi.engine import JobResult, run_job
+from ..mpi.faults import FaultPlan
+from ..mpi.timemodel import MachineModel, TESTING
+from ..statesave.context import Context
+from ..storage.stable import InMemoryStorage, StorageBackend
+from .checkpoint import restore_checkpoint
+from .comms import C3Comm
+from .modes import ProtocolError
+from .protocol import C3Config, C3Protocol, C3Stats
+
+
+@dataclass
+class C3RunResult:
+    """Outcome of a complete fault-tolerant execution."""
+
+    job: JobResult
+    stats: List[Optional[C3Stats]]
+    restarts: int = 0
+    history: List[JobResult] = field(default_factory=list)
+
+    @property
+    def virtual_time(self) -> float:
+        return self.job.virtual_time
+
+    @property
+    def returns(self) -> List[Any]:
+        return self.job.returns
+
+
+def _c3_main(mpi: MPI, app: Callable, config: C3Config,
+             storage: StorageBackend, restoring: bool, app_args: Tuple):
+    """Per-rank job body: build the layer, maybe restore, run the app."""
+    protocol = C3Protocol(mpi, storage, config)
+    ctx = Context(mpi, comm=C3Comm(protocol, protocol.world_entry),
+                  pragma_hook=protocol.pragma)
+    ctx.c3 = protocol
+    protocol.bind(ctx)
+    if restoring:
+        restore_checkpoint(protocol)
+        # After a restore the world entry may have been replaced.
+        ctx.comm = C3Comm(protocol, protocol.commtable.get(0))
+    result = app(ctx, *app_args)
+    return result, protocol.stats
+
+
+def run_c3(app: Callable, nprocs: int, machine: MachineModel = TESTING,
+           storage: Optional[StorageBackend] = None,
+           config: Optional[C3Config] = None,
+           fault_plan: Optional[FaultPlan] = None,
+           restoring: bool = False, app_args: Tuple = (),
+           wall_timeout: float = 300.0) -> Tuple[JobResult, List[Optional[C3Stats]]]:
+    """One job execution under the coordination layer."""
+    storage = storage if storage is not None else InMemoryStorage()
+    config = config or C3Config()
+    result = run_job(
+        nprocs, _c3_main,
+        args=(app, config, storage, restoring, app_args),
+        machine=machine, fault_plan=fault_plan, wall_timeout=wall_timeout,
+    )
+    stats: List[Optional[C3Stats]] = []
+    returns = []
+    for r in result.returns:
+        if isinstance(r, tuple) and len(r) == 2 and isinstance(r[1], C3Stats):
+            returns.append(r[0])
+            stats.append(r[1])
+        else:
+            returns.append(None)
+            stats.append(None)
+    result.returns = returns
+    return result, stats
+
+
+def run_fault_tolerant(app: Callable, nprocs: int,
+                       machine: MachineModel = TESTING,
+                       storage: Optional[StorageBackend] = None,
+                       config: Optional[C3Config] = None,
+                       fault_plan: Optional[FaultPlan] = None,
+                       app_args: Tuple = (), max_restarts: int = 8,
+                       wall_timeout: float = 300.0) -> C3RunResult:
+    """Run to completion, restarting from the last recovery line on failure.
+
+    The fault plan applies only to the first execution (the paper's model:
+    one failure, then recovery); pass a plan with multiple specs to test
+    repeated failures — specs that already fired do not fire again.
+    """
+    storage = storage if storage is not None else InMemoryStorage()
+    config = config or C3Config()
+    history: List[JobResult] = []
+    plan = fault_plan or FaultPlan.none()
+    restoring = False
+    restarts = 0
+    while True:
+        result, stats = run_c3(app, nprocs, machine=machine, storage=storage,
+                               config=config, fault_plan=plan,
+                               restoring=restoring, app_args=app_args,
+                               wall_timeout=wall_timeout)
+        result.raise_errors()
+        if result.failure is None:
+            return C3RunResult(job=result, stats=stats, restarts=restarts,
+                               history=history)
+        history.append(result)
+        restarts += 1
+        if restarts > max_restarts:
+            raise ProtocolError(
+                f"job failed {restarts} times; giving up "
+                f"(last failure: {result.failure})"
+            )
+        restoring = True
+
+
+def _original_main(mpi: MPI, app: Callable, app_args: Tuple):
+    ctx = Context(mpi)
+    return app(ctx, *app_args)
+
+
+def run_original(app: Callable, nprocs: int, machine: MachineModel = TESTING,
+                 app_args: Tuple = (), wall_timeout: float = 300.0) -> JobResult:
+    """Run the uninstrumented application (no coordination layer)."""
+    return run_job(nprocs, _original_main, args=(app, app_args),
+                   machine=machine, wall_timeout=wall_timeout)
+
+
+def cached_comm(ctx: Context, name: str, factory: Callable[[], C3Comm]):
+    """Create a sub-communicator once per job lifetime.
+
+    On the first execution ``factory()`` runs (and the protocol records the
+    creation); after a restart the recorded creation was already replayed
+    by ``chkpt_RestoreCheckpoint``, so the handle is rebuilt from the
+    communicator table instead of calling ``factory`` again.
+    """
+    key_name = f"__comm_{name}"
+    protocol: Optional[C3Protocol] = getattr(ctx, "c3", None)
+    if ctx.first_time(key_name):
+        comm = factory()
+        ctx.done(key_name)
+        if protocol is not None:
+            ctx.state[key_name] = comm._entry.key
+        return comm
+    if protocol is None:
+        # Original mode has no restarts; first_time can only be False if
+        # the application called this twice with the same name.
+        raise ProtocolError(f"communicator {name!r} created twice")
+    key = int(ctx.state[key_name])
+    entry = protocol.commtable.get(key)
+    from .comms import C3CartComm
+    if entry.recipe.get("kind") == "cart":
+        return C3CartComm(protocol, entry)
+    return C3Comm(protocol, entry)

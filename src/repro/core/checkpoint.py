@@ -1,0 +1,244 @@
+"""``chkpt_StartCheckpoint`` / ``chkpt_CommitCheckpoint`` /
+``chkpt_RestoreCheckpoint`` — the Figure-5 actions.
+
+Start (taken at a pragma, in Run mode):
+  advance the epoch; create the checkpoint version; save application
+  state, basic MPI state, handle tables, and the Early-Message-Registry;
+  announce Checkpoint-Initiated (with per-peer sent counts) to every node;
+  shuffle the counters.  The checkpoint is *not yet usable* — the late
+  messages of the closing epoch still have to be collected.
+
+Commit (when all announced late messages have been received):
+  save the Late-Message-Registry, the event log, and the request table
+  (whose deallocation was deferred so it still holds requests completed
+  after the line), then write the commit marker.
+
+Restore (on restart after a failure):
+  find the last version committed on *all* nodes with a global min
+  reduction; load every section; distribute the Early-Message-Registry
+  entries back to their senders to build the Was-Early-Registry; roll the
+  request table back to the line and re-post the surviving receives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..mpi.matching import ANY_SOURCE, ANY_TAG
+from ..mpi.ops import MIN
+from ..statesave.checkpointfile import CheckpointReader, CheckpointWriter
+from ..storage.manifest import last_committed_local
+from .modes import Mode, ProtocolError
+from .registries import EarlyMessageRegistry, EventLog, LateMessageRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .protocol import C3Protocol
+
+from .protocol import SERIALIZE_BANDWIDTH
+
+
+def start_checkpoint(p: "C3Protocol") -> None:
+    """Figure 5, ``chkpt_StartCheckpoint`` (runs inside the pragma)."""
+    if p.ctx is None:
+        raise ProtocolError("protocol has no bound application context")
+    # Advance Epoch; create checkpoint version and directory.
+    line = p.epoch + 1
+    p.epoch = line
+    writer = CheckpointWriter(p.storage, version=line, rank=p.rank,
+                              portable=p.config.portable,
+                              dry_run=not p.config.save_to_disk)
+    # Save application state (full, or dirty pages against the previous
+    # checkpoint when incremental checkpointing is on).
+    snap = p.ctx.snapshot_state()
+    if p._incremental is not None:
+        arrays = {k: v for k, v in snap["state"].items()
+                  if isinstance(v, np.ndarray)}
+        rest = {k: v for k, v in snap["state"].items()
+                if not isinstance(v, np.ndarray)}
+        record = p._incremental.encode(arrays)
+        writer.save("app", {**snap, "state": rest,
+                            "incremental": record})
+    else:
+        writer.save("app", snap)
+    # Save basic MPI state: node count, local rank, processor name, current
+    # epoch, attached buffers.
+    writer.save("mpi_state", {
+        "nprocs": p.nprocs,
+        "rank": p.rank,
+        "processor_name": p.mpi.Get_processor_name(),
+        "epoch": p.epoch,
+        "attached_buffers": p.mpi.attached_buffers,
+    })
+    # Save handle tables (datatypes, reduction ops are deterministic
+    # builtins, communicators per Section 4.4).
+    writer.save("handles", {
+        "datatypes": p.datatable.to_wire(),
+        "comms": p.commtable.to_wire(),
+    })
+    # Save and reset the Early-Message-Registry.
+    writer.save("early_registry", p.early_reg.to_wire())
+    p.early_reg.reset()
+    # Prepare counters, then announce with the *old* sent counts.
+    announced = p.counters.on_start_checkpoint()
+    # Peers that initiated this line before we did announced their sent
+    # counts while we were still in the previous epoch; feed them into the
+    # fresh counters now.
+    for sender, count in p.control.initiated.get(line, {}).items():
+        p.counters.on_control_received(sender, count)
+    writer.save("counters", p.counters.to_wire())
+    p.control.announce_checkpoint(line, announced)
+    p.stats.control_msgs += p.nprocs - 1
+    # Request table: remember the line position, defer deallocations.
+    p.reqtable.on_start_checkpoint()
+    p.event_log.reset()
+    # Charge the time: serialization always, disk write in config #3.
+    p.mpi.compute(writer.bytes_written / SERIALIZE_BANDWIDTH)
+    if p.config.save_to_disk:
+        p.mpi.compute(p.machine.disk_write_time(writer.bytes_written))
+    p._writer = writer
+    p._timer_base = p.mpi.Wtime()
+    p.stats.checkpoints_started += 1
+    p.stats.last_checkpoint_bytes = writer.bytes_written
+    # Mode transition (the tail of the pragma pseudocode).
+    p._poll_control()
+    if p.modes.mode is not Mode.RUN:
+        return  # a control message already drove the transition
+    all_started = p.control.all_started(line)
+    late = p.counters.late_expected()
+    p.modes.start_checkpoint(all_started=all_started, late_expected=late)
+    if all_started and not late:
+        commit_checkpoint(p)
+
+
+def commit_checkpoint(p: "C3Protocol") -> None:
+    """Figure 5, ``chkpt_CommitCheckpoint``."""
+    writer = p._writer
+    if writer is None:
+        raise ProtocolError("commit without an open checkpoint")
+    # Save and reset the Late-Message-Registry (and the event log, which
+    # carries the non-per-message non-determinism of Section 4).
+    log_bytes = 0
+    log_bytes += writer.save("late_registry", p.late_reg.to_wire())
+    log_bytes += writer.save("event_log", p.event_log.to_wire())
+    log_bytes += writer.save("request_table",
+                             p.reqtable.on_commit(p.resolve_state_key,
+                                                  line_epoch=p.epoch))
+    p.stats.last_log_bytes = log_bytes
+    p.late_reg.reset()
+    p.event_log.reset()
+    # Commit checkpoint to disk; close checkpoint.
+    p.mpi.compute(log_bytes / SERIALIZE_BANDWIDTH)
+    if p.config.save_to_disk:
+        p.mpi.compute(p.machine.disk_write_time(log_bytes))
+    writer.commit()
+    p._writer = None
+    p.control.forget_line(p.epoch)
+    p.stats.checkpoints_committed += 1
+    p.stats.last_commit_time = p.mpi.Wtime()
+
+
+def restore_checkpoint(p: "C3Protocol") -> bool:
+    """Figure 5, ``chkpt_RestoreCheckpoint``.
+
+    Returns False when no recovery line has been committed everywhere (the
+    job simply restarts from the beginning).
+    """
+    if p.ctx is None:
+        raise ProtocolError("protocol has no bound application context")
+    p.recovering = True
+    t_restore_start = p.mpi.Wtime()
+    # Query the last local checkpoint committed to disk, then a global
+    # reduction for the last line committed on all nodes.
+    local = last_committed_local(p.storage, p.rank)
+    mine = np.array([local if local is not None else -1], dtype=np.int64)
+    everyone = np.empty(1, dtype=np.int64)
+    p.control.comm.Allreduce(mine, everyone, MIN)
+    version = int(everyone[0])
+    if version <= 0:
+        return False
+    reader = CheckpointReader(p.storage, version, p.rank)
+    # Restore basic MPI state and sanity-check the world geometry.
+    mpi_state = reader.load("mpi_state")
+    if mpi_state["nprocs"] != p.nprocs or mpi_state["rank"] != p.rank:
+        raise ProtocolError(
+            f"checkpoint v{version} was taken on a different world: "
+            f"{mpi_state['nprocs']} procs, rank {mpi_state['rank']}"
+        )
+    p.epoch = mpi_state["epoch"]
+    for nbytes in mpi_state["attached_buffers"]:
+        p.mpi.Buffer_attach(nbytes)
+    # Restore handle tables: datatypes then communicators.
+    handles = reader.load("handles")
+    p.datatable.restore_wire(handles["datatypes"])
+    p.commtable.restore_wire(handles["comms"], p.mpi.COMM_WORLD)
+    p.world_entry = p.commtable.get(0)
+    # Restore counters and message registries.
+    p.counters.restore_wire(reader.load("counters"))
+    p.late_reg = LateMessageRegistry.from_wire(reader.load("late_registry"))
+    p.event_log = EventLog.from_wire(reader.load("event_log"))
+    early = EarlyMessageRegistry.from_wire(reader.load("early_registry"))
+    # Restore the application state (in place where possible).  Under
+    # incremental checkpointing, rebuild the arrays by walking the record
+    # chain back to the last full save.
+    app_snap = reader.load("app")
+    if "incremental" in app_snap:
+        from ..statesave.incremental import IncrementalTracker
+        records = [app_snap["incremental"]]
+        v = version
+        while not records[0]["full"]:
+            v -= 1
+            if v < 1:
+                raise ProtocolError(
+                    "incremental chain has no full save on stable storage")
+            prev = CheckpointReader(p.storage, v, p.rank).load("app")
+            records.insert(0, prev["incremental"])
+        arrays = IncrementalTracker.decode_chain(records)
+        app_snap = {**app_snap,
+                    "state": {**app_snap["state"], **arrays}}
+        app_snap.pop("incremental")
+    p.ctx.restore_state(app_snap)
+    # Mode := Restore.
+    from .modes import ModeTracker
+    p.modes = ModeTracker(Mode.RESTORE)
+    # Distribute Early-Message-Registry entries to their original senders
+    # to form the Was-Early-Registry.
+    for dest, tag, ctx_id in p.control.exchange_early_registries(
+            early.by_sender()):
+        p.was_early.add(dest, tag, ctx_id)
+    # Roll the request table back to the line and recreate requests.
+    survivors = p.reqtable.restore_wire(reader.load("request_table"),
+                                        line_epoch=version)
+    for entry in survivors:
+        if entry.kind != "recv":
+            continue
+        centry = p.commtable.get(entry.comm_key)
+        if entry.from_log:
+            m = p.late_reg.match_rid(entry.rid)
+            if m is None:
+                raise ProtocolError(
+                    f"request {entry.rid} was completed by a late message "
+                    "but the log has no matching entry"
+                )
+            p.late_reg.pop(m)
+            entry.log_payload = m.payload
+            entry.source, entry.tag = m.source, m.tag
+            p.stats.replayed_from_log += 1
+            continue
+        # Re-post into the restored buffer, found through its state key.
+        if entry.state_key is None or entry.state_key not in p.ctx.state:
+            raise ProtocolError(
+                f"cannot re-post request {entry.rid}: its buffer's state "
+                f"key {entry.state_key!r} is missing from the restored state"
+            )
+        entry.buffer = p.ctx.state[entry.state_key]
+        dtype = p._named_handle(entry.dtype_name)
+        p._post_recv(entry, centry, p.datatable.resolve(dtype))
+    # Charge the restore I/O time.
+    p.mpi.compute(p.machine.disk_read_time(reader.total_bytes()))
+    p.stats.restored_version = version
+    p._timer_base = p.mpi.Wtime()
+    p.stats.restore_seconds = p.mpi.Wtime() - t_restore_start
+    p._maybe_finish_restore()
+    return True

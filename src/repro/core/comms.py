@@ -1,0 +1,167 @@
+"""The communicator surface applications see under C3.
+
+:class:`C3Comm` mirrors the raw :class:`~repro.mpi.communicator.Communicator`
+API but routes every call through the coordination layer.  Communicator
+creation (``Dup``/``Split``/``Cart_create``) is recorded in the protocol's
+communicator table so it can be replayed after a restart (Section 4.4);
+datatype constructors go through the datatype table (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..mpi.matching import ANY_SOURCE, ANY_TAG
+from ..mpi.ops import Op
+from ..mpi.status import Status
+from . import collectives as coll
+from .commtable import CommEntry
+from .protocol import C3Protocol
+from .reqtable import C3Request
+
+
+class C3Comm:
+    """Protocol-wrapped communicator handle."""
+
+    def __init__(self, protocol: C3Protocol, entry: CommEntry):
+        self._p = protocol
+        self._entry = entry
+
+    # -- identity --------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._entry.raw.rank
+
+    @property
+    def size(self) -> int:
+        return self._entry.raw.size
+
+    @property
+    def context_id(self) -> int:
+        return self._entry.raw.context_id
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point-to-point -----------------------------------------------------------
+    def Send(self, buf, dest: int, tag: int = 0, datatype=None,
+             count: Optional[int] = None) -> None:
+        self._p.send(self._entry, buf, dest, tag, datatype=datatype,
+                     count=count)
+
+    def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             datatype=None, status: Optional[Status] = None) -> Status:
+        return self._p.recv(self._entry, buf, source=source, tag=tag,
+                            datatype=datatype, status=status)
+
+    def Isend(self, buf, dest: int, tag: int = 0, datatype=None,
+              count: Optional[int] = None) -> C3Request:
+        return self._p.isend(self._entry, buf, dest, tag, datatype=datatype,
+                             count=count)
+
+    def Irecv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              datatype=None) -> C3Request:
+        return self._p.irecv(self._entry, buf, source=source, tag=tag,
+                             datatype=datatype)
+
+    def Sendrecv(self, sendbuf, dest: int, sendtag: int, recvbuf, source: int,
+                 recvtag: int, status: Optional[Status] = None) -> Status:
+        req = self.Irecv(recvbuf, source=source, tag=recvtag)
+        self.Send(sendbuf, dest, sendtag)
+        st = self._p.wait(req)
+        if status is not None:
+            status.__dict__.update(st.__dict__)
+        return st
+
+    # -- request completion ----------------------------------------------------------
+    def Wait(self, request: C3Request) -> Status:
+        return self._p.wait(request)
+
+    def Test(self, request: C3Request) -> Tuple[bool, Optional[Status]]:
+        return self._p.test(request)
+
+    def Waitall(self, requests: Sequence[C3Request]) -> List[Status]:
+        return self._p.waitall(list(requests))
+
+    def Waitany(self, requests: Sequence[C3Request]) -> Tuple[int, Status]:
+        return self._p.waitany(list(requests))
+
+    def Waitsome(self, requests: Sequence[C3Request]) -> Tuple[List[int], List[Status]]:
+        return self._p.waitsome(list(requests))
+
+    # -- collectives --------------------------------------------------------------------
+    def Barrier(self) -> None:
+        coll.barrier(self._p, self._entry)
+
+    def Bcast(self, buf, root: int = 0) -> None:
+        coll.bcast(self._p, self._entry, buf, root=root)
+
+    def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+        coll.gather(self._p, self._entry, sendbuf, recvbuf, root=root)
+
+    def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+        coll.scatter(self._p, self._entry, sendbuf, recvbuf, root=root)
+
+    def Allgather(self, sendbuf, recvbuf) -> None:
+        coll.allgather(self._p, self._entry, sendbuf, recvbuf)
+
+    def Alltoall(self, sendbuf, recvbuf) -> None:
+        coll.alltoall(self._p, self._entry, sendbuf, recvbuf)
+
+    def Reduce(self, sendbuf, recvbuf, op: Op, root: int = 0) -> None:
+        coll.reduce(self._p, self._entry, sendbuf, recvbuf, op, root=root)
+
+    def Allreduce(self, sendbuf, recvbuf, op: Op) -> None:
+        coll.allreduce(self._p, self._entry, sendbuf, recvbuf, op)
+
+    def Scan(self, sendbuf, recvbuf, op: Op) -> None:
+        coll.scan(self._p, self._entry, sendbuf, recvbuf, op)
+
+    # -- communicator management (recorded, Section 4.4) -----------------------------------
+    def Dup(self) -> "C3Comm":
+        entry = self._p.commtable.record_dup(self._entry)
+        return C3Comm(self._p, entry)
+
+    def Split(self, color: int, key: int = 0) -> Optional["C3Comm"]:
+        entry = self._p.commtable.record_split(self._entry, color, key)
+        return C3Comm(self._p, entry) if entry is not None else None
+
+    def Cart_create(self, dims: Sequence[int], periods: Sequence[int]) -> "C3CartComm":
+        entry = self._p.commtable.record_cart(self._entry, dims, periods)
+        return C3CartComm(self._p, entry)
+
+    def Free(self) -> None:
+        self._p.commtable.record_free(self._entry)
+
+    # -- datatype constructors (tabled, Section 4.2) ------------------------------------------
+    def Type_contiguous(self, count: int, base):
+        return self._p.datatable.create_contiguous(count, base)
+
+    def Type_vector(self, count: int, blocklength: int, stride: int, base):
+        return self._p.datatable.create_vector(count, blocklength, stride, base)
+
+    def Type_indexed(self, blocklengths, displacements, base):
+        return self._p.datatable.create_indexed(blocklengths, displacements, base)
+
+    def Type_create_struct(self, blocklengths, displacements, types):
+        return self._p.datatable.create_struct(blocklengths, displacements, types)
+
+
+class C3CartComm(C3Comm):
+    """Protocol-wrapped cartesian communicator."""
+
+    def Get_coords(self, rank: Optional[int] = None) -> List[int]:
+        return self._entry.raw.Get_coords(rank)
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        return self._entry.raw.Get_cart_rank(coords)
+
+    def Shift(self, direction: int, disp: int = 1) -> Tuple[int, int]:
+        return self._entry.raw.Shift(direction, disp)
+
+    @property
+    def dims(self):
+        return self._entry.raw.dims

@@ -1,0 +1,139 @@
+"""Communicator table: recording and replay (Section 4.4).
+
+The paper lists support for arbitrary communicators, groups, and
+topologies as a straightforward extension "currently under development":
+record every creation/deletion as part of the checkpoint and replay the
+MPI calls on recovery.  This module implements that extension.
+
+Each protocol-visible communicator gets a table entry holding the raw
+runtime communicator plus the recipe that created it (dup / split /
+cart_create with this rank's parameters).  On restore the recipes are
+replayed in creation order against the freshly initialized runtime, which
+reproduces identical context ids on every rank because creation keys are
+derived deterministically (see :mod:`repro.mpi.communicator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .modes import ProtocolError
+
+
+@dataclass
+class CommEntry:
+    key: int
+    recipe: dict          # {"kind": "world" | "dup" | "split" | "cart", ...}
+    parent_key: Optional[int]
+    raw: object           # runtime Communicator (never checkpointed)
+    freed: bool = False
+    #: per-communicator collective call sequence number (checkpointed so
+    #: recovery replays collective stream tags deterministically)
+    coll_seq: int = 0
+
+
+class CommTable:
+    """Creation-ordered table of protocol-visible communicators."""
+
+    def __init__(self):
+        self._entries: Dict[int, CommEntry] = {}
+        self._next_key = 0
+
+    def add_world(self, raw) -> CommEntry:
+        if self._next_key != 0:
+            raise ProtocolError("world communicator must be entry 0")
+        return self._add({"kind": "world"}, None, raw)
+
+    def _add(self, recipe: dict, parent_key: Optional[int], raw) -> CommEntry:
+        entry = CommEntry(self._next_key, recipe, parent_key, raw)
+        self._entries[entry.key] = entry
+        self._next_key += 1
+        return entry
+
+    def get(self, key: int) -> CommEntry:
+        try:
+            entry = self._entries[key]
+        except KeyError:
+            raise ProtocolError(f"unknown communicator key {key}") from None
+        if entry.freed:
+            raise ProtocolError(f"communicator {key} used after free")
+        return entry
+
+    # -- creation (collective at the application level) --------------------------
+    def record_dup(self, parent: CommEntry) -> CommEntry:
+        raw = parent.raw.Dup()
+        return self._add({"kind": "dup"}, parent.key, raw)
+
+    def record_split(self, parent: CommEntry, color: int, key: int) -> Optional[CommEntry]:
+        raw = parent.raw.Split(color, key)
+        if raw is None:
+            # This rank is not a member (color < 0); record the call anyway
+            # so replay keeps the collective sequence aligned.
+            self._add({"kind": "split", "color": color, "key": key,
+                       "member": False}, parent.key, None).freed = True
+            return None
+        return self._add({"kind": "split", "color": color, "key": key,
+                          "member": True}, parent.key, raw)
+
+    def record_cart(self, parent: CommEntry, dims, periods) -> CommEntry:
+        raw = parent.raw.Cart_create(list(dims), list(periods))
+        return self._add({"kind": "cart", "dims": list(dims),
+                          "periods": [bool(p) for p in periods]},
+                         parent.key, raw)
+
+    def record_free(self, entry: CommEntry) -> None:
+        entry.raw.Free()
+        entry.freed = True
+        entry.recipe = {**entry.recipe, "freed": True}
+
+    # -- checkpoint plumbing ---------------------------------------------------------
+    def to_wire(self) -> dict:
+        entries = []
+        for e in sorted(self._entries.values(), key=lambda x: x.key):
+            entries.append({
+                "key": e.key, "recipe": e.recipe, "parent_key": e.parent_key,
+                "freed": e.freed, "coll_seq": e.coll_seq,
+            })
+        return {"entries": entries, "next_key": self._next_key}
+
+    def restore_wire(self, wire: dict, world_raw) -> None:
+        """Replay every recorded creation against a fresh runtime."""
+        self._entries.clear()
+        self._next_key = 0
+        for e in wire["entries"]:
+            recipe = e["recipe"]
+            kind = recipe["kind"]
+            if kind == "world":
+                entry = self._add(recipe, None, world_raw)
+            else:
+                parent = self._entries.get(e["parent_key"])
+                if parent is None:
+                    raise ProtocolError(
+                        f"communicator {e['key']} has missing parent "
+                        f"{e['parent_key']}"
+                    )
+                if kind == "dup":
+                    entry = self._add(recipe, parent.key, parent.raw.Dup())
+                elif kind == "split":
+                    raw = parent.raw.Split(recipe["color"], recipe["key"])
+                    entry = self._add(recipe, parent.key, raw)
+                    if not recipe.get("member", True):
+                        entry.freed = True
+                elif kind == "cart":
+                    raw = parent.raw.Cart_create(recipe["dims"],
+                                                 recipe["periods"])
+                    entry = self._add(recipe, parent.key, raw)
+                else:
+                    raise ProtocolError(f"unknown communicator recipe {kind!r}")
+            entry.coll_seq = e["coll_seq"]
+            if e["freed"] and entry.raw is not None and not entry.freed:
+                entry.raw.Free()
+                entry.freed = True
+        self._next_key = wire["next_key"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def live_entries(self) -> List[CommEntry]:
+        return [e for e in self._entries.values() if not e.freed]

@@ -1,0 +1,108 @@
+"""Per-process message counters (Section 3.1).
+
+* ``sent_count[Q]`` — messages sent to Q in the current epoch; its value is
+  shipped with the Checkpoint-Initiated control message so Q knows how many
+  late messages to expect.
+* ``received_count[Q]`` — intra-epoch messages received from Q.
+* ``early_received[Q]`` — early (next-epoch) messages received from Q.
+* ``late_received[Q]`` — previous-epoch messages received from Q, counted
+  against ``expected_late[Q]`` to decide when logging can stop.
+
+``on_start_checkpoint`` performs the counter shuffle of Figure 5's
+"Prepare counters": intra-epoch receipts become the late baseline (they are
+previous-epoch messages now), early receipts become the new intra-epoch
+baseline, and early counters reset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .modes import ProtocolError
+
+
+class CounterSet:
+    """All per-peer counters for one process."""
+
+    def __init__(self, nprocs: int, rank: int):
+        self.nprocs = nprocs
+        self.rank = rank
+        self.sent_count = [0] * nprocs
+        self.received_count = [0] * nprocs
+        self.early_received = [0] * nprocs
+        self.late_received = [0] * nprocs
+        #: late messages each peer announced for the epoch that just ended;
+        #: None until that peer's Checkpoint-Initiated message arrives
+        self.expected_late: List[Optional[int]] = [None] * nprocs
+
+    # -- normal-execution updates ---------------------------------------------
+    def on_send(self, dest: int) -> None:
+        self.sent_count[dest] += 1
+
+    def on_intra_received(self, source: int) -> None:
+        self.received_count[source] += 1
+
+    def on_early_received(self, source: int) -> None:
+        self.early_received[source] += 1
+
+    def on_late_received(self, source: int) -> None:
+        self.late_received[source] += 1
+        if (self.expected_late[source] is not None
+                and self.late_received[source] > self.expected_late[source]):
+            raise ProtocolError(
+                f"rank {self.rank}: received {self.late_received[source]} "
+                f"late messages from {source}, but only "
+                f"{self.expected_late[source]} were announced"
+            )
+
+    # -- checkpoint boundary ------------------------------------------------------
+    def on_start_checkpoint(self) -> List[int]:
+        """Figure 5 "Prepare counters"; returns the sent counts to announce."""
+        announced = list(self.sent_count)
+        self.late_received = list(self.received_count)
+        self.received_count = list(self.early_received)
+        self.early_received = [0] * self.nprocs
+        self.sent_count = [0] * self.nprocs
+        self.expected_late = [None] * self.nprocs
+        return announced
+
+    def on_control_received(self, source: int, their_sent_to_me: int) -> None:
+        """A peer's Checkpoint-Initiated message announced its sent count."""
+        if self.expected_late[source] is not None:
+            raise ProtocolError(
+                f"rank {self.rank}: duplicate Checkpoint-Initiated from {source}"
+            )
+        self.expected_late[source] = their_sent_to_me
+
+    # -- logging-completion predicates ------------------------------------------------
+    def late_drained(self) -> bool:
+        """Have all announced late messages arrived?"""
+        for q in range(self.nprocs):
+            if q == self.rank:
+                continue
+            expected = self.expected_late[q]
+            if expected is None or self.late_received[q] < expected:
+                return False
+        return True
+
+    def late_expected(self) -> bool:
+        """Are any late messages still outstanding (or unannounced)?"""
+        return not self.late_drained()
+
+    # -- checkpoint plumbing ----------------------------------------------------------
+    def to_wire(self) -> dict:
+        # Saved at StartCheckpoint, i.e. *after* the counter shuffle: the
+        # checkpointed received_count is the new epoch's baseline (it already
+        # contains the early messages that crossed the recovery line).
+        return {
+            "sent_count": list(self.sent_count),
+            "received_count": list(self.received_count),
+            "early_received": list(self.early_received),
+        }
+
+    def restore_wire(self, wire: dict) -> None:
+        self.sent_count = list(wire["sent_count"])
+        self.received_count = list(wire["received_count"])
+        self.early_received = list(wire["early_received"])
+        self.late_received = [0] * self.nprocs
+        self.expected_late = [None] * self.nprocs

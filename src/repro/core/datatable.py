@@ -1,0 +1,250 @@
+"""Datatype handle table (Section 4.2).
+
+The protocol stores, for every datatype the application constructs, both
+the runtime datatype object and the information used to create it, so all
+datatypes can be recreated before execution resumes after a restart.
+
+Datatypes nest (a hierarchy of types); the table tracks the dependency
+edges and defers the *table entry's* deletion until the entry and every
+type depending on it have been freed — while the runtime datatype object
+itself is freed immediately, so the MPI layer's resource usage matches a
+non-fault-tolerant run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..mpi import datatypes as dt
+from .modes import ProtocolError
+
+#: pseudo-ids for the named (predefined) types: negative, never in the table
+_NAMED_IDS = {name: -(i + 1) for i, name in enumerate(sorted(dt.NAMED_TYPES))}
+_IDS_NAMED = {v: k for k, v in _NAMED_IDS.items()}
+
+
+def named_id(name: str) -> int:
+    try:
+        return _NAMED_IDS[name]
+    except KeyError:
+        raise ProtocolError(f"unknown named datatype {name!r}") from None
+
+
+@dataclass
+class DatatypeEntry:
+    handle: int
+    recipe: dict                # constructor kind + parameters
+    child_handles: List[int]    # table ids (or negative named ids)
+    obj: Optional[dt.Datatype]  # live runtime object (None once freed)
+    committed: bool = False
+    freed: bool = False
+
+
+class C3DatatypeHandle:
+    """What the application holds; behaves like a datatype handle."""
+
+    __slots__ = ("handle", "_table")
+
+    def __init__(self, handle: int, table: "DatatypeTable"):
+        self.handle = handle
+        self._table = table
+
+    def Commit(self) -> "C3DatatypeHandle":
+        self._table.commit(self.handle)
+        return self
+
+    def Free(self) -> None:
+        self._table.free(self.handle)
+
+    @property
+    def name(self) -> str:
+        return self._table.resolve(self.handle).name
+
+
+class DatatypeTable:
+    """Indirection table for derived datatypes with recreation support."""
+
+    def __init__(self):
+        self._entries: Dict[int, DatatypeEntry] = {}
+        self._next_id = 1
+
+    # -- handle resolution ------------------------------------------------------
+    def resolve(self, handle) -> dt.Datatype:
+        """Map a handle (C3 handle object, table id, or named type) to the
+        runtime datatype object."""
+        if isinstance(handle, C3DatatypeHandle):
+            handle = handle.handle
+        if isinstance(handle, dt.NamedType):
+            return handle
+        if isinstance(handle, int):
+            if handle < 0:
+                return dt.NAMED_TYPES[_IDS_NAMED[handle]]
+            entry = self._entry(handle)
+            if entry.obj is None:
+                raise ProtocolError(
+                    f"datatype handle {handle} used after Free()"
+                )
+            return entry.obj
+        raise ProtocolError(f"not a datatype handle: {handle!r}")
+
+    def _entry(self, handle: int) -> DatatypeEntry:
+        try:
+            return self._entries[handle]
+        except KeyError:
+            raise ProtocolError(f"unknown datatype handle {handle}") from None
+
+    def _handle_of(self, base) -> int:
+        if isinstance(base, C3DatatypeHandle):
+            return base.handle
+        if isinstance(base, dt.NamedType):
+            return named_id(base.name)
+        if isinstance(base, int):
+            return base
+        raise ProtocolError(f"not a datatype handle: {base!r}")
+
+    # -- constructors ---------------------------------------------------------------
+    def create_contiguous(self, count: int, base) -> C3DatatypeHandle:
+        base_h = self._handle_of(base)
+        obj = dt.ContiguousType(count, self.resolve(base_h))
+        return self._add({"kind": "contiguous", "count": count}, [base_h], obj)
+
+    def create_vector(self, count: int, blocklength: int, stride: int,
+                      base) -> C3DatatypeHandle:
+        base_h = self._handle_of(base)
+        obj = dt.VectorType(count, blocklength, stride, self.resolve(base_h))
+        return self._add(
+            {"kind": "vector", "count": count, "blocklength": blocklength,
+             "stride": stride}, [base_h], obj)
+
+    def create_indexed(self, blocklengths: Sequence[int],
+                       displacements: Sequence[int], base) -> C3DatatypeHandle:
+        base_h = self._handle_of(base)
+        obj = dt.IndexedType(blocklengths, displacements, self.resolve(base_h))
+        return self._add(
+            {"kind": "indexed", "blocklengths": list(blocklengths),
+             "displacements": list(displacements)}, [base_h], obj)
+
+    def create_struct(self, blocklengths: Sequence[int],
+                      displacements: Sequence[int],
+                      types: Sequence) -> C3DatatypeHandle:
+        handles = [self._handle_of(t) for t in types]
+        obj = dt.StructType(blocklengths, displacements,
+                            [self.resolve(h) for h in handles])
+        return self._add(
+            {"kind": "struct", "blocklengths": list(blocklengths),
+             "displacements": list(displacements)}, handles, obj)
+
+    def _add(self, recipe: dict, child_handles: List[int],
+             obj: dt.Datatype) -> C3DatatypeHandle:
+        entry = DatatypeEntry(self._next_id, recipe, child_handles, obj)
+        self._entries[entry.handle] = entry
+        self._next_id += 1
+        return C3DatatypeHandle(entry.handle, self)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def commit(self, handle: int) -> None:
+        entry = self._entry(handle)
+        if entry.obj is None:
+            raise ProtocolError(f"Commit on freed datatype {handle}")
+        entry.obj.Commit()
+        entry.committed = True
+
+    def free(self, handle: int) -> None:
+        """Free the runtime datatype now; drop the entry when safe."""
+        entry = self._entry(handle)
+        if entry.freed:
+            raise ProtocolError(f"double Free of datatype {handle}")
+        entry.freed = True
+        if entry.obj is not None:
+            entry.obj.Free()
+            entry.obj = None
+        self._collect()
+
+    def _collect(self) -> None:
+        """Drop freed entries on which no live table entry depends."""
+        changed = True
+        while changed:
+            changed = False
+            needed = set()
+            for e in self._entries.values():
+                for ch in e.child_handles:
+                    if ch > 0:
+                        needed.add(ch)
+            for h in list(self._entries):
+                e = self._entries[h]
+                if e.freed and h not in needed:
+                    del self._entries[h]
+                    changed = True
+
+    # -- checkpoint plumbing --------------------------------------------------------------
+    def to_wire(self) -> dict:
+        entries = []
+        for e in sorted(self._entries.values(), key=lambda x: x.handle):
+            entries.append({
+                "handle": e.handle, "recipe": e.recipe,
+                "children": list(e.child_handles),
+                "committed": e.committed, "freed": e.freed,
+            })
+        return {"entries": entries, "next_id": self._next_id}
+
+    def restore_wire(self, wire: dict) -> None:
+        """Recreate every datatype, children first (ascending handles)."""
+        self._entries.clear()
+        for e in wire["entries"]:
+            children = list(e["children"])
+            objs = []
+            for ch in children:
+                if ch < 0:
+                    objs.append(dt.NAMED_TYPES[_IDS_NAMED[ch]])
+                else:
+                    child_entry = self._entries.get(ch)
+                    if child_entry is None:
+                        raise ProtocolError(
+                            f"datatype {e['handle']} depends on missing child {ch}"
+                        )
+                    # Recreate through the recipe even if the child was freed
+                    # at checkpoint time: intermediate types must be
+                    # reconstructible (Section 4.2).
+                    objs.append(child_entry.obj or self._rebuild(child_entry))
+            obj = self._build(e["recipe"], objs)
+            if e["committed"]:
+                obj.Commit()
+            entry = DatatypeEntry(e["handle"], e["recipe"], children, obj,
+                                  committed=e["committed"], freed=e["freed"])
+            if e["freed"]:
+                entry.obj.Free()
+                entry.obj = None
+            self._entries[e["handle"]] = entry
+        self._next_id = wire["next_id"]
+
+    def _rebuild(self, entry: DatatypeEntry) -> dt.Datatype:
+        objs = []
+        for ch in entry.child_handles:
+            if ch < 0:
+                objs.append(dt.NAMED_TYPES[_IDS_NAMED[ch]])
+            else:
+                child = self._entries[ch]
+                objs.append(child.obj or self._rebuild(child))
+        obj = self._build(entry.recipe, objs)
+        obj.Commit()
+        return obj
+
+    @staticmethod
+    def _build(recipe: dict, children: List[dt.Datatype]) -> dt.Datatype:
+        kind = recipe["kind"]
+        if kind == "contiguous":
+            return dt.ContiguousType(recipe["count"], children[0])
+        if kind == "vector":
+            return dt.VectorType(recipe["count"], recipe["blocklength"],
+                                 recipe["stride"], children[0])
+        if kind == "indexed":
+            return dt.IndexedType(recipe["blocklengths"],
+                                  recipe["displacements"], children[0])
+        if kind == "struct":
+            return dt.StructType(recipe["blocklengths"],
+                                 recipe["displacements"], children)
+        raise ProtocolError(f"unknown datatype recipe kind {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self._entries)

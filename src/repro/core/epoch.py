@@ -1,0 +1,110 @@
+"""Epochs, message classification, and piggyback codecs.
+
+Execution is divided into *epochs* separated by recovery lines; taking
+checkpoint *k* moves a process from epoch *k-1* to epoch *k*.  Comparing
+the sender's epoch (piggybacked on every message) with the receiver's
+classifies a message (Definition 1):
+
+* **late** — sender epoch < receiver epoch,
+* **intra-epoch** — equal,
+* **early** — sender epoch > receiver epoch.
+
+Because a message crosses at most one recovery line, epochs at the two
+ends differ by at most one, so the full epoch integer can be replaced by
+its value mod 3 — a 2-bit "color" — plus one bit for "the sender has
+stopped logging non-deterministic events": 3 piggybacked bits total
+(Section 3.2).  The codec is deliberately separated from the protocol
+(Section 4.5, last bullet) so the wire encoding can be swapped; the
+``FULL`` codec piggybacks the whole epoch and is used by the piggyback
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .modes import ProtocolError
+
+LATE = "late"
+INTRA = "intra"
+EARLY = "early"
+
+
+def classify(sender_epoch: int, receiver_epoch: int) -> str:
+    """Definition 1, given both true epoch numbers."""
+    if abs(sender_epoch - receiver_epoch) > 1:
+        raise ProtocolError(
+            f"message crosses more than one recovery line: sender epoch "
+            f"{sender_epoch}, receiver epoch {receiver_epoch}"
+        )
+    if sender_epoch < receiver_epoch:
+        return LATE
+    if sender_epoch > receiver_epoch:
+        return EARLY
+    return INTRA
+
+
+@dataclass(frozen=True)
+class Piggyback:
+    """Decoded piggyback contents."""
+
+    sender_epoch: int
+    stopped_logging: bool
+
+
+class ThreeBitCodec:
+    """The paper's 3-bit encoding: 2-bit epoch color + 1 logging bit.
+
+    On the (byte-oriented) wire this occupies 1 byte.
+    """
+
+    nbytes = 1
+
+    def encode(self, epoch: int, stopped_logging: bool) -> int:
+        return ((epoch % 3) << 1) | (1 if stopped_logging else 0)
+
+    def decode(self, value: int, receiver_epoch: int) -> Piggyback:
+        color = (value >> 1) & 0b11
+        if color > 2:
+            raise ProtocolError(f"invalid epoch color {color}")
+        stopped = bool(value & 1)
+        # The sender's epoch is the unique member of
+        # {receiver-1, receiver, receiver+1} with the observed color.
+        for delta in (-1, 0, 1):
+            epoch = receiver_epoch + delta
+            if epoch >= 0 and epoch % 3 == color:
+                return Piggyback(sender_epoch=epoch, stopped_logging=stopped)
+        raise ProtocolError(
+            f"no epoch within one recovery line of {receiver_epoch} has "
+            f"color {color}"
+        )
+
+
+class FullCodec:
+    """Ablation codec: piggybacks the whole epoch (8 bytes) + mode byte."""
+
+    nbytes = 9
+
+    def encode(self, epoch: int, stopped_logging: bool) -> int:
+        return (epoch << 1) | (1 if stopped_logging else 0)
+
+    def decode(self, value: int, receiver_epoch: int) -> Piggyback:
+        epoch = value >> 1
+        if abs(epoch - receiver_epoch) > 1:
+            raise ProtocolError(
+                f"message crosses more than one recovery line: sender epoch "
+                f"{epoch}, receiver epoch {receiver_epoch}"
+            )
+        return Piggyback(sender_epoch=epoch, stopped_logging=bool(value & 1))
+
+
+CODECS = {"3bit": ThreeBitCodec(), "full": FullCodec()}
+
+
+@dataclass(frozen=True)
+class WirePiggyback:
+    """What actually rides on an envelope: encoded value + wire size."""
+
+    value: int
+    nbytes: int

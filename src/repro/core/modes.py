@@ -1,0 +1,105 @@
+"""Protocol modes and the Figure-3 state machine.
+
+Each process is always in exactly one mode:
+
+* ``RUN`` — normal execution;
+* ``NONDET_LOG`` — a checkpoint was started; late messages *and*
+  non-deterministic events are logged;
+* ``RECVONLY_LOG`` — every process has started the checkpoint, so no new
+  early messages can exist; only late messages are still logged;
+* ``RESTORE`` — recovering: replaying late messages from the log and
+  suppressing sends recorded in the Was-Early-Registry.
+
+:class:`ModeTracker` enforces the legal transitions of Figure 3 —
+an illegal transition indicates a protocol bug, so it raises.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class ProtocolError(Exception):
+    """An internal C3 protocol invariant was violated."""
+
+
+class Mode(enum.Enum):
+    RUN = "Run"
+    NONDET_LOG = "NonDet-Log"
+    RECVONLY_LOG = "RecvOnly-Log"
+    RESTORE = "Restore"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.value
+
+
+#: legal (from, to) transitions; RUN->RUN covers a checkpoint that commits
+#: immediately (uniprocessor / no late messages expected).
+_LEGAL = {
+    (Mode.RUN, Mode.NONDET_LOG),     # start checkpoint, others pending
+    (Mode.RUN, Mode.RECVONLY_LOG),   # start checkpoint, all already started
+    (Mode.RUN, Mode.RUN),            # start checkpoint, nothing to log
+    (Mode.NONDET_LOG, Mode.RECVONLY_LOG),
+    (Mode.NONDET_LOG, Mode.RUN),     # all started and no late outstanding
+    (Mode.RECVONLY_LOG, Mode.RUN),   # commit
+    (Mode.RESTORE, Mode.RUN),        # registries drained
+}
+
+
+class ModeTracker:
+    """Current mode plus transition validation and history."""
+
+    def __init__(self, initial: Mode = Mode.RUN):
+        self.mode = initial
+        self.history = [initial]
+
+    def transition(self, to: Mode, reason: str = "") -> None:
+        if to == self.mode:
+            return
+        if (self.mode, to) not in _LEGAL:
+            raise ProtocolError(
+                f"illegal mode transition {self.mode} -> {to}"
+                + (f" ({reason})" if reason else "")
+            )
+        self.mode = to
+        self.history.append(to)
+
+    # transitions named after the Figure-3 edges -----------------------------
+    def start_checkpoint(self, all_started: bool, late_expected: bool) -> None:
+        """Leaving the pragma after ``chkpt_StartCheckpoint``."""
+        if self.mode is not Mode.RUN:
+            raise ProtocolError(f"checkpoint started outside Run mode ({self.mode})")
+        if not all_started:
+            self.transition(Mode.NONDET_LOG, "start checkpoint")
+        elif late_expected:
+            self.transition(Mode.RECVONLY_LOG, "start checkpoint, all started")
+        else:
+            self.transition(Mode.RUN, "start checkpoint, nothing to log")
+
+    def stop_nondet_logging(self, late_expected: bool) -> None:
+        """All nodes started the checkpoint (or a stopped-logging message arrived)."""
+        if self.mode is not Mode.NONDET_LOG:
+            raise ProtocolError(f"stop_nondet_logging in mode {self.mode}")
+        self.transition(Mode.RECVONLY_LOG if late_expected else Mode.RUN,
+                        "all nodes started checkpoint")
+
+    def commit(self) -> None:
+        """All late messages received."""
+        if self.mode is not Mode.RECVONLY_LOG:
+            raise ProtocolError(f"commit in mode {self.mode}")
+        self.transition(Mode.RUN, "received all late messages")
+
+    def finish_restore(self) -> None:
+        """Late-Message-Registry and Was-Early-Registry both empty."""
+        if self.mode is not Mode.RESTORE:
+            raise ProtocolError(f"finish_restore in mode {self.mode}")
+        self.transition(Mode.RUN, "registries empty")
+
+    @property
+    def is_logging_nondet(self) -> bool:
+        return self.mode is Mode.NONDET_LOG
+
+    @property
+    def is_logging_late(self) -> bool:
+        return self.mode in (Mode.NONDET_LOG, Mode.RECVONLY_LOG)

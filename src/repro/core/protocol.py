@@ -1,0 +1,625 @@
+"""The C3 coordination layer: non-blocking, coordinated, application-level
+checkpointing (Sections 3 and 4 of the paper).
+
+:class:`C3Protocol` sits between the application and the (simulated) MPI
+runtime and intercepts every communication call.  It implements:
+
+* the Figure-4 send/receive wrappers — piggybacking, message
+  classification, counter updates, late-message logging, early-message
+  registration, wildcard-order logging, send suppression and log replay
+  during recovery;
+* the Figure-5 actions — ``chkpt_StartCheckpoint``,
+  ``chkpt_CommitCheckpoint``, ``chkpt_RestoreCheckpoint`` and the pragma
+  logic (in :mod:`repro.core.checkpoint`);
+* the advanced-feature extensions of Section 4 — the request indirection
+  table with test-counter replay, the datatype table, recorded
+  communicators, and the collective protocols (in
+  :mod:`repro.core.collectives`).
+
+Implementation notes recorded in DESIGN.md (deviations the paper's
+pseudocode elides but its prose implies):
+
+* a send suppressed by the Was-Early-Registry still increments
+  ``Sent-Count`` — the receiver's restored counters already include the
+  early message, so the next recovery line's late accounting balances
+  only if the suppressed send is counted;
+* receiving an *early* message while logging non-deterministic events
+  also stops the logging: a sender one epoch ahead has necessarily
+  stopped logging for the receiver's line (the prose rule "a message from
+  a process that has itself stopped logging"), even though its piggyback
+  bit refers to the sender's own next line;
+* late-registry entries are tagged with the consuming request's table id,
+  which is reproduced deterministically during replay; replay matches by
+  id first and falls back to signature matching once the re-execution has
+  (legitimately) diverged past the logged non-determinism window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mpi.api import MPI
+from ..mpi.datatypes import Datatype, from_numpy_dtype
+from ..mpi.matching import ANY_SOURCE, ANY_TAG
+from ..mpi.status import Status
+from ..statesave.context import Context
+from ..storage.stable import StorageBackend
+from .commtable import CommEntry, CommTable
+from .control import ControlPlane
+from .counters import CounterSet
+from .datatable import DatatypeTable
+from .epoch import CODECS, EARLY, INTRA, LATE, WirePiggyback, classify
+from .modes import Mode, ModeTracker, ProtocolError
+from .registries import (
+    DATA, WILDCARD, EarlyMessageRegistry, EventLog, LateMessageRegistry,
+    WasEarlyRegistry,
+)
+from .reqtable import C3Request, RequestEntry, RequestTable
+
+#: reserved tag for collective communication streams (applications must not
+#: use it; see repro.core.collectives)
+COLL_TAG = (1 << 24) - 1
+
+#: modelled memory-copy bandwidth for checkpoint serialization (bytes/s)
+SERIALIZE_BANDWIDTH = 2.0e9
+
+
+@dataclass
+class C3Config:
+    """Tunables of the coordination layer."""
+
+    #: virtual-seconds between timer-initiated checkpoints (None: only
+    #: forced pragmas checkpoint)
+    checkpoint_interval: Optional[float] = None
+    #: configuration #3 (True) vs #2 (False) of Tables 4-5: actually write
+    #: checkpoint data to stable storage, or only go through the motions
+    save_to_disk: bool = True
+    #: save checkpoints in the portable (typed) format
+    portable: bool = False
+    #: piggyback codec: "3bit" (the paper's) or "full" (ablation)
+    codec: str = "3bit"
+    #: always emulate collectives with point-to-point (ablation; normally
+    #: emulation is used only during recovery)
+    emulate_collectives: bool = False
+    #: ablation: only rank 0 may initiate checkpoints (the earlier
+    #: protocol's distinguished initiator)
+    distinguished_initiator: bool = False
+    #: stop initiating after this many checkpoints (None: unlimited);
+    #: peer-initiated checkpoints are always joined
+    max_checkpoints: Optional[int] = None
+    #: the paper's Allreduce/Scan result-logging optimization; off by
+    #: default in favour of the always-consistent stream-based reductions
+    #: (see repro.core.collectives and DESIGN.md)
+    log_reduction_results: bool = False
+    #: incremental checkpointing (the paper's Section-8 future-work item):
+    #: application state arrays are saved as dirty pages against the
+    #: previous checkpoint; restore walks the chain from the last full save
+    incremental: bool = False
+    #: force a full save every N checkpoints when incremental is on
+    incremental_full_interval: int = 4
+
+
+@dataclass
+class C3Stats:
+    """Bookkeeping the benchmarks read."""
+
+    app_sends: int = 0
+    app_recvs: int = 0
+    control_msgs: int = 0
+    late_logged: int = 0
+    late_logged_bytes: int = 0
+    wildcard_logged: int = 0
+    early_recorded: int = 0
+    events_logged: int = 0
+    checkpoints_started: int = 0
+    checkpoints_committed: int = 0
+    last_checkpoint_bytes: int = 0
+    last_log_bytes: int = 0
+    suppressed_sends: int = 0
+    replayed_from_log: int = 0
+    restored_version: Optional[int] = None
+    #: virtual time of the last commit (for restart-cost accounting)
+    last_commit_time: float = 0.0
+    #: virtual time spent inside restore_checkpoint
+    restore_seconds: float = 0.0
+    collectives_native: int = 0
+    collectives_emulated: int = 0
+
+
+class C3Protocol:
+    """Per-rank instance of the coordination layer."""
+
+    def __init__(self, mpi: MPI, storage: StorageBackend,
+                 config: Optional[C3Config] = None):
+        self.mpi = mpi
+        self.machine = mpi._ctx.machine
+        self.rank = mpi.rank
+        self.nprocs = mpi.size
+        self.storage = storage
+        self.config = config or C3Config()
+        try:
+            self.codec = CODECS[self.config.codec]
+        except KeyError:
+            raise ProtocolError(f"unknown piggyback codec {self.config.codec!r}")
+
+        self.modes = ModeTracker(Mode.RUN)
+        self.epoch = 0
+        self.counters = CounterSet(self.nprocs, self.rank)
+        #: control plane on a dedicated duplicate of COMM_WORLD
+        self.control = ControlPlane(mpi.COMM_WORLD.Dup("c3.control"),
+                                    self.rank, self.nprocs)
+        self.late_reg = LateMessageRegistry()
+        self.early_reg = EarlyMessageRegistry()
+        self.was_early = WasEarlyRegistry()
+        self.event_log = EventLog()
+        self.reqtable = RequestTable()
+        self.datatable = DatatypeTable()
+        self.commtable = CommTable()
+        self.world_entry = self.commtable.add_world(mpi.COMM_WORLD)
+        self.stats = C3Stats()
+        self.ctx: Optional[Context] = None
+        self._timer_base = 0.0
+        self._writer = None  # open CheckpointWriter between start and commit
+        self._incremental = None
+        if self.config.incremental:
+            from ..statesave.incremental import IncrementalTracker
+            self._incremental = IncrementalTracker(
+                full_interval=self.config.incremental_full_interval)
+        #: True for the whole run when this job was started in recovery
+        #: mode — collectives stay point-to-point-emulated (see DESIGN.md)
+        self.recovering = False
+
+    # ------------------------------------------------------------------ setup
+    def bind(self, ctx: Context) -> None:
+        """Attach the application context (the state that gets saved)."""
+        self.ctx = ctx
+
+    def _charge(self) -> None:
+        """Per-intercepted-call software overhead of the C3 layer.
+
+        Also a fault-injection point: every intercepted call (including
+        pragmas in compute-only phases) can observe a scheduled fail-stop.
+        """
+        self.mpi.compute(self.machine.c3_call_overhead)
+        self.mpi._ctx.poll_hook()
+
+    # ------------------------------------------------------- piggyback encoding
+    def _piggyback(self) -> WirePiggyback:
+        stopped = self.modes.mode is not Mode.NONDET_LOG
+        return WirePiggyback(self.codec.encode(self.epoch, stopped),
+                             self.codec.nbytes)
+
+    # ------------------------------------------------------------ control plane
+    def _poll_control(self) -> None:
+        """Figure 4's "Check for control messages"."""
+        processed = self.control.poll(self._on_checkpoint_initiated)
+        if processed:
+            self.stats.control_msgs += processed
+            self._after_control()
+
+    def _on_checkpoint_initiated(self, line: int, sender: int, count: int) -> None:
+        if line > self.epoch + 1:
+            raise ProtocolError(
+                f"rank {self.rank} in epoch {self.epoch} got "
+                f"Checkpoint-Initiated for line {line}: a message crossed "
+                "more than one recovery line"
+            )
+        if line == self.epoch:
+            # I already took this checkpoint; this is a peer announcement.
+            self.counters.on_control_received(sender, count)
+
+    def _after_control(self) -> None:
+        """Re-evaluate mode transitions after control processing."""
+        if self.modes.mode is Mode.NONDET_LOG and self.control.all_started(self.epoch):
+            self._stop_nondet_logging()
+        self._maybe_commit()
+
+    def _stop_nondet_logging(self) -> None:
+        from .checkpoint import commit_checkpoint  # cycle avoidance
+        late = self.counters.late_expected()
+        self.modes.stop_nondet_logging(late_expected=late)
+        if not late:
+            commit_checkpoint(self)
+
+    def _maybe_commit(self) -> None:
+        from .checkpoint import commit_checkpoint
+        if self.modes.mode is Mode.RECVONLY_LOG and self.counters.late_drained():
+            self.modes.commit()
+            commit_checkpoint(self)
+
+    def _maybe_finish_restore(self) -> None:
+        if (self.modes.mode is Mode.RESTORE
+                and not self.late_reg and not self.was_early
+                and self.event_log.drained):
+            self.modes.finish_restore()
+
+    # -------------------------------------------------------------- datatypes
+    def _resolve_dtype(self, buf, datatype) -> Datatype:
+        if datatype is None:
+            if isinstance(buf, np.ndarray):
+                return from_numpy_dtype(buf.dtype)
+            raise ProtocolError("datatype required for non-numpy buffers")
+        return self.datatable.resolve(datatype)
+
+    # =================================================================== SEND
+    def send(self, centry: CommEntry, buf, dest: int, tag: int = 0,
+             datatype=None, count: Optional[int] = None,
+             _internal_tag: bool = False) -> None:
+        """``chkpt_MPI_Send`` (Figure 4)."""
+        self._charge()
+        self._poll_control()
+        if tag == COLL_TAG and not _internal_tag:
+            raise ProtocolError(f"tag {COLL_TAG} is reserved for the C3 layer")
+        raw = centry.raw
+        dtype = self._resolve_dtype(buf, datatype)
+        n = count if count is not None else (buf.size if isinstance(buf, np.ndarray) else 1)
+        payload = dtype.pack(buf, n)
+        self._send_payload(centry, payload, dest, tag, n, dtype.name)
+
+    def _send_payload(self, centry: CommEntry, payload: bytes, dest: int,
+                      tag: int, count: int, type_name: str) -> None:
+        raw = centry.raw
+        dest_world = raw.group.translate(dest)
+        if self.modes.mode is Mode.RESTORE:
+            if self.was_early.match_and_remove(dest_world, tag, raw.context_id):
+                # Suppressed: the receiver's checkpoint already contains this
+                # message.  Count it anyway — the receiver's restored
+                # counters include it (see module docstring).
+                self.counters.on_send(dest_world)
+                self.stats.suppressed_sends += 1
+                self._maybe_finish_restore()
+                return
+        raw.send_packed(payload, dest, tag, count=count, type_name=type_name,
+                        piggyback=self._piggyback())
+        self.counters.on_send(dest_world)
+        self.stats.app_sends += 1
+
+    def isend(self, centry: CommEntry, buf, dest: int, tag: int = 0,
+              datatype=None, count: Optional[int] = None) -> C3Request:
+        """Non-blocking send: the send protocol runs at the call site
+        (Section 4.1 — the send interval starts when the application hands
+        the buffer to MPI)."""
+        self.send(centry, buf, dest, tag, datatype=datatype, count=count)
+        entry = self.reqtable.alloc("send", centry.key, dest, tag,
+                                    count or 0, "", self.epoch)
+        return C3Request(entry.rid)
+
+    # =================================================================== RECV
+    def irecv(self, centry: CommEntry, buf, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG, datatype=None,
+              _internal_tag: bool = False) -> C3Request:
+        """Post a receive; the receive protocol itself runs at Wait/Test."""
+        self._charge()
+        self._poll_control()
+        if tag == COLL_TAG and not _internal_tag:
+            raise ProtocolError(f"tag {COLL_TAG} is reserved for the C3 layer")
+        dtype = self._resolve_dtype(buf, datatype)
+        entry = self.reqtable.alloc(
+            "recv", centry.key, source, tag,
+            buf.size if isinstance(buf, np.ndarray) else 0,
+            dtype.name, self.epoch, buffer=buf,
+        )
+        self._post_recv(entry, centry, dtype)
+        return C3Request(entry.rid)
+
+    def _post_recv(self, entry: RequestEntry, centry: CommEntry,
+                   dtype: Datatype) -> None:
+        """Restore-aware posting: serve from the log, restrict wildcards,
+        or post a real receive."""
+        raw = centry.raw
+        source, tag = entry.source, entry.tag
+        if self.modes.mode is Mode.RESTORE:
+            m = self._match_log(entry, raw.context_id)
+            if m is not None and m.kind == DATA:
+                self.late_reg.pop(m)
+                entry.from_log = True
+                entry.log_payload = m.payload
+                entry.source, entry.tag = m.source, m.tag
+                self.stats.replayed_from_log += 1
+                self._maybe_finish_restore()
+                return
+            if m is not None and m.kind == WILDCARD:
+                # Fill in the wild-cards to force the message order of the
+                # original run.
+                self.late_reg.pop(m)
+                source, tag = m.source, m.tag
+                self._maybe_finish_restore()
+        entry.mpi_request = raw.Irecv(entry.buffer, source=source, tag=tag,
+                                      datatype=dtype)
+
+    def _match_log(self, entry: RequestEntry, context_id: int):
+        """Find the late-registry entry this receive should replay.
+
+        Exact matching is by consuming request id (reproduced
+        deterministically); the signature fallback serves orphaned entries
+        after the re-execution has legitimately diverged.
+        """
+        m = self.late_reg.match_rid(entry.rid)
+        if m is not None:
+            sig_ok = (m.context_id == context_id
+                      and (entry.source == ANY_SOURCE or entry.source == m.source)
+                      and (entry.tag == ANY_TAG or entry.tag == m.tag))
+            if sig_ok:
+                return m
+        m = self.late_reg.match(entry.source, entry.tag, context_id)
+        if m is not None and m.kind == DATA:
+            return m
+        if (m is not None and m.kind == WILDCARD
+                and (entry.source == ANY_SOURCE or entry.tag == ANY_TAG)):
+            return m
+        return None
+
+    def recv(self, centry: CommEntry, buf, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG, datatype=None,
+             status: Optional[Status] = None,
+             _internal_tag: bool = False) -> Status:
+        """``chkpt_MPI_Recv``: post + complete."""
+        req = self.irecv(centry, buf, source=source, tag=tag,
+                         datatype=datatype, _internal_tag=_internal_tag)
+        st = self.wait(req)
+        if status is not None:
+            status.__dict__.update(st.__dict__)
+        return st
+
+    # ----------------------------------------------------- delivery / protocol
+    def _complete_recv(self, entry: RequestEntry) -> Status:
+        """The receive protocol of Figure 4, run at delivery time."""
+        centry = self.commtable.get(entry.comm_key)
+        if entry.from_log:
+            dtype = self.datatable.resolve(self._named_handle(entry.dtype_name))
+            payload = entry.log_payload or b""
+            elems = len(payload) // dtype.size if dtype.size else 0
+            if entry.buffer is not None:
+                dtype.unpack(payload, entry.buffer, count=elems)
+            self._maybe_finish_restore()
+            return Status(source=entry.source, tag=entry.tag, count=elems,
+                          nbytes=len(payload))
+        req = entry.mpi_request
+        if req is None:
+            raise ProtocolError(f"request {entry.rid} has no pending operation")
+        st = req.wait()
+        env = req.envelope
+        if env is not None and env.source >= 0:
+            self._on_app_delivery(centry, entry, env)
+        self.stats.app_recvs += 1
+        return st
+
+    def _named_handle(self, name: str):
+        from ..mpi import datatypes as dt
+        if name in dt.NAMED_TYPES:
+            return dt.NAMED_TYPES[name]
+        raise ProtocolError(f"cannot resolve datatype {name!r} for replay")
+
+    def _on_app_delivery(self, centry: CommEntry, entry: Optional[RequestEntry],
+                         env) -> None:
+        """Classify a delivered message and update counters/registries."""
+        raw = centry.raw
+        if env.piggyback is None:
+            raise ProtocolError(
+                f"application message without piggyback from rank {env.source}"
+            )
+        pb = self.codec.decode(env.piggyback.value, self.epoch)
+        kind = classify(pb.sender_epoch, self.epoch)
+        source_world = raw.group.translate(env.source)
+        if kind == LATE:
+            self.counters.on_late_received(source_world)
+            if self.modes.is_logging_late:
+                self.late_reg.record_late(
+                    env.source, env.tag, env.context_id, env.payload,
+                    rid=entry.rid if entry else None)
+                self.stats.late_logged += 1
+                self.stats.late_logged_bytes += env.nbytes
+            elif self.modes.mode is not Mode.RESTORE:
+                raise ProtocolError(
+                    f"rank {self.rank} received a late message in mode "
+                    f"{self.modes.mode} (commit accounting is broken)"
+                )
+            self._maybe_commit()
+        elif kind == INTRA:
+            self.counters.on_intra_received(source_world)
+            if self.modes.mode is Mode.NONDET_LOG:
+                if pb.stopped_logging:
+                    # Causality: the sender stopped logging, so events after
+                    # this message must not enter the log.
+                    self._stop_nondet_logging()
+                elif entry is not None and (entry.source == ANY_SOURCE
+                                            or entry.tag == ANY_TAG):
+                    self.late_reg.record_wildcard(
+                        env.source, env.tag, env.context_id,
+                        rid=entry.rid if entry else None)
+                    self.stats.wildcard_logged += 1
+        else:  # EARLY
+            self.counters.on_early_received(source_world)
+            self.early_reg.record(source_world, env.tag, env.context_id)
+            self.stats.early_recorded += 1
+            if self.modes.mode is Mode.NONDET_LOG:
+                # A sender one epoch ahead has necessarily stopped logging
+                # non-deterministic events for *my* line.
+                self._stop_nondet_logging()
+
+    # ============================================================ WAIT / TEST
+    def wait(self, c3req: C3Request) -> Status:
+        """``MPI_Wait`` through the indirection table."""
+        self._charge()
+        self._poll_control()
+        entry = self.reqtable.get(c3req.rid)
+        if entry.kind == "send":
+            st = Status(source=self.rank, tag=entry.tag, count=entry.count)
+        else:
+            st = self._complete_recv(entry)
+        self.reqtable.release(entry)
+        return st
+
+    def test(self, c3req: C3Request) -> Tuple[bool, Optional[Status]]:
+        """``MPI_Test`` with unsuccessful-poll counting and replay."""
+        self._charge()
+        self._poll_control()
+        entry = self.reqtable.get(c3req.rid)
+        if entry.kind == "send":
+            st = Status(source=self.rank, tag=entry.tag, count=entry.count)
+            self.reqtable.release(entry)
+            return True, st
+        # Recovery replay: fail the same number of times as the original
+        # run, then substitute a Wait (which cannot deadlock — the original
+        # Test succeeded, so the message is logged or will be resent).
+        if (self.modes.mode is Mode.RESTORE
+                and entry.rid in self.reqtable.replay_test_counters):
+            remaining = self.reqtable.replay_test_counters[entry.rid]
+            if remaining > 0:
+                self.reqtable.replay_test_counters[entry.rid] = remaining - 1
+                return False, None
+            st = self._complete_recv(entry)
+            self.reqtable.release(entry)
+            return True, st
+        if entry.from_log:
+            st = self._complete_recv(entry)
+            self.reqtable.release(entry)
+            return True, st
+        req = entry.mpi_request
+        if req is None or not req.is_complete():
+            if self.reqtable.defer_dealloc:
+                entry.test_counter += 1
+            return False, None
+        st = self._complete_recv(entry)
+        self.reqtable.release(entry)
+        return True, st
+
+    def waitall(self, c3reqs: List[C3Request]) -> List[Status]:
+        """``MPI_Waitall``: completion order is fixed, no logging needed."""
+        return [self.wait(r) for r in c3reqs]
+
+    def waitany(self, c3reqs: List[C3Request]) -> Tuple[int, Status]:
+        """``MPI_Waitany`` with completed-index logging and replay."""
+        self._charge()
+        self._poll_control()
+        if self.modes.mode is Mode.RESTORE and len(self.event_log):
+            rid = self.event_log.replay(EventLog.WAITANY)
+            for i, r in enumerate(c3reqs):
+                if r.rid == rid:
+                    entry = self.reqtable.get(rid)
+                    st = self._complete_recv(entry) if entry.kind == "recv" \
+                        else Status(source=self.rank, tag=entry.tag)
+                    self.reqtable.release(entry)
+                    return i, st
+            raise ProtocolError(
+                f"waitany replay: logged request {rid} not in the array"
+            )
+        idx, st = self._waitany_live(c3reqs)
+        if self.reqtable.defer_dealloc:
+            # Log the completion for replay (covers MPI_Waitany's
+            # non-determinism, Section 4.1).
+            self.event_log.record(EventLog.WAITANY, c3reqs[idx].rid)
+            self.stats.events_logged += 1
+        return idx, st
+
+    def _waitany_live(self, c3reqs: List[C3Request]) -> Tuple[int, Status]:
+        entries = [self.reqtable.get(r.rid) for r in c3reqs]
+        # Sends and log-served receives complete immediately.
+        for i, e in enumerate(entries):
+            if e.kind == "send" or e.from_log:
+                st = self._complete_recv(e) if e.kind == "recv" else \
+                    Status(source=self.rank, tag=e.tag, count=e.count)
+                self.reqtable.release(e)
+                return i, st
+        mpi_reqs = [e.mpi_request for e in entries]
+        if any(r is None for r in mpi_reqs):
+            raise ProtocolError("waitany on request without pending operation")
+        ctx = self.mpi._ctx
+        ctx.mailbox.wait_for(lambda: any(r.is_complete() for r in mpi_reqs),
+                             poll=ctx.poll_hook)
+        for i, e in enumerate(entries):
+            if e.mpi_request.is_complete():
+                st = self._complete_recv(e)
+                self.reqtable.release(e)
+                return i, st
+        raise AssertionError("waitany woke without a completed request")
+
+    def waitsome(self, c3reqs: List[C3Request]) -> Tuple[List[int], List[Status]]:
+        """``MPI_Waitsome`` with completed-index-set logging and replay."""
+        self._charge()
+        self._poll_control()
+        if self.modes.mode is Mode.RESTORE and len(self.event_log):
+            rids = self.event_log.replay(EventLog.WAITSOME)
+            indices, statuses = [], []
+            by_rid = {r.rid: i for i, r in enumerate(c3reqs)}
+            for rid in rids:
+                if rid not in by_rid:
+                    raise ProtocolError(
+                        f"waitsome replay: logged request {rid} not in array")
+                entry = self.reqtable.get(rid)
+                st = self._complete_recv(entry) if entry.kind == "recv" \
+                    else Status(source=self.rank, tag=entry.tag)
+                self.reqtable.release(entry)
+                indices.append(by_rid[rid])
+                statuses.append(st)
+            return indices, statuses
+        idx, st = self._waitany_live(c3reqs)
+        indices, statuses = [idx], [st]
+        # Collect every other already-complete request, in index order.
+        for i, r in enumerate(c3reqs):
+            if i == idx:
+                continue
+            entry = self.reqtable.get(r.rid)
+            if entry.kind == "send" or entry.from_log or (
+                    entry.mpi_request is not None
+                    and entry.mpi_request.is_complete()):
+                st2 = self._complete_recv(entry) if entry.kind == "recv" \
+                    else Status(source=self.rank, tag=entry.tag)
+                self.reqtable.release(entry)
+                indices.append(i)
+                statuses.append(st2)
+        if self.reqtable.defer_dealloc:
+            self.event_log.record(EventLog.WAITSOME,
+                                  [c3reqs[i].rid for i in indices])
+            self.stats.events_logged += 1
+        return indices, statuses
+
+    # ======================================================== PRAGMA (Figure 5)
+    def pragma(self, force: bool = False) -> None:
+        """``#pragma ccc checkpoint``."""
+        from .checkpoint import start_checkpoint
+        self._charge()
+        self._poll_control()
+        if self.modes.mode is not Mode.RUN:
+            return
+        line = self.epoch + 1
+        initiate = False
+        if self._may_initiate():
+            if force:
+                initiate = True
+            elif (self.config.checkpoint_interval is not None
+                  and self.mpi.Wtime() - self._timer_base
+                  >= self.config.checkpoint_interval):
+                initiate = True
+        if not initiate and self.control.any_started(line):
+            initiate = True  # at least one other node started a checkpoint
+        if initiate:
+            start_checkpoint(self)
+
+    def _may_initiate(self) -> bool:
+        if (self.config.max_checkpoints is not None
+                and self.stats.checkpoints_started >= self.config.max_checkpoints):
+            return False
+        if self.config.distinguished_initiator and self.rank != 0:
+            return False
+        return True
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def mode(self) -> Mode:
+        return self.modes.mode
+
+    def resolve_state_key(self, buffer) -> Optional[str]:
+        """Find the ctx.state key holding ``buffer`` (identity match)."""
+        if self.ctx is None:
+            return None
+        for key in self.ctx.state:
+            if self.ctx.state[key] is buffer:
+                return key
+        raise ProtocolError(
+            "an open non-blocking receive buffer must live in ctx.state so "
+            "it can be recreated after a restart"
+        )

@@ -1,0 +1,254 @@
+"""The three message registries of Section 2.3 plus the event log.
+
+* :class:`LateMessageRegistry` — late messages (signature **and** payload)
+  recorded during the logging phase, replayed to receives during recovery;
+  also holds signature-only entries recording the order of wildcard
+  receives of intra-epoch messages (the non-determinism record), which
+  restrict wildcard parameters during replay.
+* :class:`EarlyMessageRegistry` — signatures of early messages, saved with
+  the checkpoint; distributed to the original senders on recovery.
+* :class:`WasEarlyRegistry` — built on the sender side during recovery
+  from the distributed early registries; matching sends are suppressed.
+* :class:`EventLog` — ordered non-deterministic events that are not
+  per-message: logged ``MPI_Allreduce``/``MPI_Scan`` results and the
+  completion indices of ``Waitany``/``Waitsome`` (Section 4).
+
+Entries with equal signatures keep their receive order (the registries are
+multimaps in arrival order), which is what makes per-signature replay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..mpi.matching import ANY_SOURCE, ANY_TAG
+from .modes import ProtocolError
+
+# late-registry entry kinds
+DATA = "data"          # a logged late message (payload present)
+WILDCARD = "wildcard"  # order record of an intra-epoch wildcard receive
+
+
+def _sig_matches(entry_source: int, entry_tag: int, entry_ctx: int,
+                 source: int, tag: int, ctx: int) -> bool:
+    """Does a receive with (source, tag, ctx) — wildcards allowed — match?"""
+    if ctx != entry_ctx:
+        return False
+    if source != ANY_SOURCE and source != entry_source:
+        return False
+    if tag != ANY_TAG and tag != entry_tag:
+        return False
+    return True
+
+
+@dataclass
+class LateEntry:
+    kind: str
+    source: int
+    tag: int
+    context_id: int
+    payload: Optional[bytes] = None
+    #: table id of the request that consumed the message in the original
+    #: run; reproduced deterministically on replay, so it identifies the
+    #: exact entry a re-executed receive must take
+    rid: Optional[int] = None
+
+    def to_wire(self) -> dict:
+        return {"kind": self.kind, "source": self.source, "tag": self.tag,
+                "context_id": self.context_id, "payload": self.payload,
+                "rid": self.rid}
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "LateEntry":
+        return cls(d["kind"], d["source"], d["tag"], d["context_id"],
+                   d["payload"], d.get("rid"))
+
+
+class LateMessageRegistry:
+    """Ordered multimap of late messages and wildcard-order records."""
+
+    def __init__(self):
+        self._entries: List[LateEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(len(e.payload) for e in self._entries if e.payload)
+
+    def record_late(self, source: int, tag: int, context_id: int,
+                    payload: bytes, rid: Optional[int] = None) -> None:
+        self._entries.append(
+            LateEntry(DATA, source, tag, context_id, payload, rid))
+
+    def record_wildcard(self, source: int, tag: int, context_id: int,
+                        rid: Optional[int] = None) -> None:
+        self._entries.append(
+            LateEntry(WILDCARD, source, tag, context_id, rid=rid))
+
+    def match(self, source: int, tag: int, context_id: int) -> Optional[LateEntry]:
+        """First entry (either kind) matching a receive, without removing."""
+        for e in self._entries:
+            if _sig_matches(e.source, e.tag, e.context_id, source, tag,
+                            context_id):
+                return e
+        return None
+
+    def match_rid(self, rid: int) -> Optional[LateEntry]:
+        """The entry consumed by request ``rid`` in the original run."""
+        for e in self._entries:
+            if e.rid == rid:
+                return e
+        return None
+
+    def pop(self, entry: LateEntry) -> None:
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise ProtocolError("late-registry entry popped twice") from None
+
+    # -- checkpoint plumbing -------------------------------------------------
+    def to_wire(self) -> list:
+        return [e.to_wire() for e in self._entries]
+
+    @classmethod
+    def from_wire(cls, wire: list) -> "LateMessageRegistry":
+        reg = cls()
+        reg._entries = [LateEntry.from_wire(d) for d in wire]
+        return reg
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+
+class EarlyMessageRegistry:
+    """Signatures of early messages received in the current epoch.
+
+    Entries are ``(source, tag, context_id)`` in receive order; multiple
+    identical signatures are kept (multiset semantics).
+    """
+
+    def __init__(self):
+        self._sigs: List[Tuple[int, int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._sigs)
+
+    def __bool__(self) -> bool:
+        return bool(self._sigs)
+
+    def record(self, source: int, tag: int, context_id: int) -> None:
+        self._sigs.append((source, tag, context_id))
+
+    def by_sender(self) -> dict:
+        """Group entries by sending rank: sender -> [(tag, context_id), ...]."""
+        out: dict = {}
+        for source, tag, ctx in self._sigs:
+            out.setdefault(source, []).append((tag, ctx))
+        return out
+
+    def to_wire(self) -> list:
+        return [list(s) for s in self._sigs]
+
+    @classmethod
+    def from_wire(cls, wire: list) -> "EarlyMessageRegistry":
+        reg = cls()
+        reg._sigs = [tuple(s) for s in wire]
+        return reg
+
+    def reset(self) -> None:
+        self._sigs.clear()
+
+
+class WasEarlyRegistry:
+    """Sends to suppress during recovery: (dest, tag, context_id) multiset."""
+
+    def __init__(self):
+        self._entries: List[Tuple[int, int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def add(self, dest: int, tag: int, context_id: int) -> None:
+        self._entries.append((dest, tag, context_id))
+
+    def match_and_remove(self, dest: int, tag: int, context_id: int) -> bool:
+        """Suppress one matching send; returns whether it was suppressed."""
+        key = (dest, tag, context_id)
+        try:
+            self._entries.remove(key)
+            return True
+        except ValueError:
+            return False
+
+
+class EventLog:
+    """Ordered replay log of non-per-message non-deterministic events."""
+
+    #: event kinds
+    COLLECTIVE_RESULT = "collective_result"   # Allreduce / Scan payload
+    WAITANY = "waitany"                       # completed index
+    WAITSOME = "waitsome"                     # completed index list
+
+    def __init__(self):
+        self._events: List[Tuple[str, Any]] = []
+        self._cursor = 0  # replay position (not checkpointed)
+
+    def __len__(self) -> int:
+        return len(self._events) - self._cursor
+
+    def record(self, kind: str, value: Any) -> None:
+        self._events.append((kind, value))
+
+    def replay(self, kind: str) -> Optional[Any]:
+        """Next event if it matches ``kind``; None when the log is drained.
+
+        A kind mismatch means the recovering execution diverged from the
+        logged one — a protocol bug — so it raises.
+        """
+        if self._cursor >= len(self._events):
+            return None
+        got_kind, value = self._events[self._cursor]
+        if got_kind != kind:
+            raise ProtocolError(
+                f"event-log divergence: replaying {kind!r} but log has "
+                f"{got_kind!r} at position {self._cursor}"
+            )
+        self._cursor += 1
+        return value
+
+    @property
+    def drained(self) -> bool:
+        return self._cursor >= len(self._events)
+
+    @property
+    def data_bytes(self) -> int:
+        total = 0
+        for _kind, value in self._events:
+            if isinstance(value, (bytes, bytearray)):
+                total += len(value)
+            else:
+                total += 8
+        return total
+
+    def to_wire(self) -> list:
+        return [[k, v] for k, v in self._events]
+
+    @classmethod
+    def from_wire(cls, wire: list) -> "EventLog":
+        log = cls()
+        log._events = [(k, v) for k, v in wire]
+        return log
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._cursor = 0

@@ -1,0 +1,28 @@
+"""Experiment harness: paper data, scale configs, drivers, rendering."""
+
+from . import paperdata
+from .experiments import (
+    ablation_blocking_vs_nonblocking, ablation_initiation,
+    ablation_logging_phases, ablation_piggyback,
+    render_checkpoint, render_overhead, render_restart, render_table1,
+    table1_rows, table2_rows, table3_rows, table4_rows, table5_rows,
+    table6_rows, table7_rows,
+)
+from .platforms import (
+    LEMIEUX_CODES, RESTART_CODES, SIZE_SCALE, TABLE1_CODES, VELOCITY2_CODES,
+)
+from .report import render_table
+from .runner import measure_c3, measure_original, measure_restart
+
+__all__ = [
+    "paperdata",
+    "table1_rows", "table2_rows", "table3_rows", "table4_rows",
+    "table5_rows", "table6_rows", "table7_rows",
+    "render_table1", "render_overhead", "render_checkpoint", "render_restart",
+    "render_table",
+    "ablation_initiation", "ablation_logging_phases", "ablation_piggyback",
+    "ablation_blocking_vs_nonblocking",
+    "measure_original", "measure_c3", "measure_restart",
+    "LEMIEUX_CODES", "VELOCITY2_CODES", "TABLE1_CODES", "RESTART_CODES",
+    "SIZE_SCALE",
+]

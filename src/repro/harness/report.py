@@ -1,0 +1,41 @@
+"""Plain-text table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def fmt(value, width: int = 9, decimals: int = 1) -> str:
+    """Format a cell; None renders as the paper's unavailable marker."""
+    if value is None:
+        return "-*".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], widths: Optional[List[int]] = None
+                 ) -> str:
+    """A fixed-width table with a title rule, like the paper's tables."""
+    if widths is None:
+        widths = [max(len(str(h)), 9) for h in headers]
+    out = [title, "=" * min(100, sum(widths) + len(widths) * 2)]
+    out.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    out.append("-" * min(100, sum(widths) + len(widths) * 2))
+    for row in rows:
+        cells = []
+        for cell, w in zip(row, widths):
+            if isinstance(cell, float):
+                cells.append(f"{cell:.2f}".rjust(w))
+            elif cell is None:
+                cells.append("-*".rjust(w))
+            else:
+                cells.append(str(cell).rjust(w))
+        out.append("  ".join(cells))
+    return "\n".join(out)
+
+
+def side_by_side(label_ours: str, ours, label_paper: str, paper) -> str:
+    """Render a measured value next to the paper's."""
+    return f"{label_ours}={ours}  ({label_paper}={paper})"

@@ -1,0 +1,119 @@
+"""Experiment runner primitives.
+
+Wraps the three execution modes of the evaluation — original, C3 without
+checkpoints, C3 with one checkpoint (configurations #1/#2/#3 of Tables
+4-5) — plus the restart measurement of Tables 6-7, returning plain
+result records the table drivers assemble into rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..apps import APPS
+from ..core.ccc import run_c3, run_original
+from ..core.protocol import C3Config
+from ..mpi.timemodel import MachineModel
+from ..storage.stable import InMemoryStorage
+
+
+@dataclass
+class ModeResult:
+    """One job execution's measurements."""
+
+    virtual_seconds: float
+    checkpoint_bytes: int = 0
+    log_bytes: int = 0
+    checkpoints_committed: int = 0
+    last_commit_time: float = 0.0
+    restore_seconds: float = 0.0
+    app_sends: int = 0
+
+
+def _with_params(app_name: str, params: dict) -> Callable:
+    app = APPS[app_name]
+
+    def wrapped(ctx):
+        return app(ctx, **params)
+
+    wrapped.__name__ = f"{app_name}_configured"
+    return wrapped
+
+
+def measure_original(app_name: str, nprocs: int, machine: MachineModel,
+                     params: dict, wall_timeout: float = 240.0) -> ModeResult:
+    result = run_original(_with_params(app_name, params), nprocs,
+                          machine=machine, wall_timeout=wall_timeout)
+    result.raise_errors()
+    return ModeResult(virtual_seconds=result.virtual_time)
+
+
+def measure_c3(app_name: str, nprocs: int, machine: MachineModel,
+               params: dict, checkpoints: int = 0, save_to_disk: bool = True,
+               interval_fraction: float = 0.45,
+               reference_time: Optional[float] = None,
+               wall_timeout: float = 240.0) -> ModeResult:
+    """A C3 run: ``checkpoints == 0`` is configuration #1, otherwise one
+    (or more) timer-initiated checkpoints — #2 with ``save_to_disk=False``,
+    #3 with True."""
+    interval = None
+    if checkpoints > 0:
+        base = reference_time if reference_time else 1.0
+        interval = base * interval_fraction / checkpoints
+    config = C3Config(checkpoint_interval=interval,
+                      save_to_disk=save_to_disk,
+                      max_checkpoints=checkpoints or None)
+    storage = InMemoryStorage()
+    result, stats = run_c3(_with_params(app_name, params), nprocs,
+                           machine=machine, storage=storage, config=config,
+                           wall_timeout=wall_timeout)
+    result.raise_errors()
+    st = [s for s in stats if s is not None]
+    return ModeResult(
+        virtual_seconds=result.virtual_time,
+        checkpoint_bytes=max((s.last_checkpoint_bytes for s in st), default=0),
+        log_bytes=max((s.last_log_bytes for s in st), default=0),
+        checkpoints_committed=min((s.checkpoints_committed for s in st),
+                                  default=0),
+        last_commit_time=max((s.last_commit_time for s in st), default=0.0),
+        app_sends=sum(s.app_sends for s in st),
+    )
+
+
+def measure_restart(app_name: str, machine: MachineModel, params: dict,
+                    wall_timeout: float = 240.0) -> Dict[str, float]:
+    """Tables 6-7 methodology, on a uniprocessor run.
+
+    Run 1: execute to completion taking one mid-run checkpoint; measure
+    the elapsed time from the last committed checkpoint to the end.
+    Run 2: restart from that checkpoint; measure from the start of the
+    restore procedure to the end.  The restart cost is the difference.
+    """
+    app = _with_params(app_name, params)
+    base = run_original(app, 1, machine=machine, wall_timeout=wall_timeout)
+    base.raise_errors()
+    total = base.virtual_time
+
+    storage = InMemoryStorage()
+    config = C3Config(checkpoint_interval=total * 0.5, max_checkpoints=1)
+    full, stats = run_c3(app, 1, machine=machine, storage=storage,
+                         config=config, wall_timeout=wall_timeout)
+    full.raise_errors()
+    st = stats[0]
+    if st is None or st.checkpoints_committed < 1:
+        raise RuntimeError(f"{app_name}: no checkpoint committed in run 1")
+    tail_after_ckpt = full.virtual_time - st.last_commit_time
+
+    restarted, rstats = run_c3(app, 1, machine=machine, storage=storage,
+                               config=config, restoring=True,
+                               wall_timeout=wall_timeout)
+    restarted.raise_errors()
+    restart_elapsed = restarted.virtual_time
+    return {
+        "original_seconds": total,
+        "tail_after_checkpoint": tail_after_ckpt,
+        "restart_run_seconds": restart_elapsed,
+        "restart_cost": restart_elapsed - tail_after_ckpt,
+        "restore_seconds": rstats[0].restore_seconds if rstats[0] else 0.0,
+    }

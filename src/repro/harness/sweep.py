@@ -1,0 +1,87 @@
+"""Checkpoint-interval sweep: overhead vs. expected recovery loss.
+
+The paper scales its single-checkpoint costs to "once an hour" and "once
+a day" (Section 6.4); this module makes the underlying trade-off an
+experiment.  For a grid of checkpoint intervals it measures, on the same
+application:
+
+* the failure-free overhead of checkpointing at that cadence, and
+* the *expected* work lost at a random failure (half the interval plus
+  the uncommitted tail), measured by actually injecting failures.
+
+It also evaluates Young's classic first-order optimum
+``T_opt = sqrt(2 * C * MTBF)`` (checkpoint cost C) against the sweep, so
+the bench can check that the measured sweet spot brackets the formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.ccc import run_c3, run_fault_tolerant, run_original
+from ..core.protocol import C3Config
+from ..mpi.faults import FaultPlan, FaultSpec
+from ..mpi.timemodel import MachineModel, TESTING
+from ..storage.stable import InMemoryStorage
+
+
+@dataclass
+class SweepPoint:
+    interval: float
+    failure_free_seconds: float
+    overhead_pct: float
+    checkpoints: int
+    recovered_seconds: float     # makespan incl. one mid-run failure
+    total_cost_seconds: float    # recovered - original
+
+
+def sweep_intervals(app: Callable, nprocs: int,
+                    intervals_frac=(0.05, 0.1, 0.2, 0.4, 0.8),
+                    fail_frac: float = 0.63,
+                    machine: MachineModel = TESTING) -> Dict:
+    """Measure the cost curve over checkpoint intervals."""
+    base = run_original(app, nprocs, machine=machine)
+    base.raise_errors()
+    T = base.virtual_time
+
+    points: List[SweepPoint] = []
+    ckpt_cost = None
+    for frac in intervals_frac:
+        interval = T * frac
+        config = C3Config(checkpoint_interval=interval)
+        clean, stats = run_c3(app, nprocs, machine=machine,
+                              storage=InMemoryStorage(), config=config)
+        clean.raise_errors()
+        committed = min(s.checkpoints_committed for s in stats if s)
+        if committed and ckpt_cost is None:
+            ckpt_cost = max(0.0, (clean.virtual_time - T) / committed)
+
+        res = run_fault_tolerant(
+            app, nprocs, machine=machine, storage=InMemoryStorage(),
+            config=config,
+            fault_plan=FaultPlan([FaultSpec(rank=nprocs // 2,
+                                            at_time=T * fail_frac)]))
+        # total virtual work: failed attempt up to the fault + recovery run
+        failed_time = (res.history[0].virtual_time if res.history
+                       else 0.0)
+        total = failed_time + res.job.virtual_time
+        points.append(SweepPoint(
+            interval=interval,
+            failure_free_seconds=clean.virtual_time,
+            overhead_pct=(clean.virtual_time - T) / T * 100.0,
+            checkpoints=committed,
+            recovered_seconds=total,
+            total_cost_seconds=total - T,
+        ))
+
+    mtbf = T * fail_frac  # one failure per run at that point
+    young = (math.sqrt(2.0 * ckpt_cost * mtbf)
+             if ckpt_cost and ckpt_cost > 0 else None)
+    return {
+        "original_seconds": T,
+        "checkpoint_cost_seconds": ckpt_cost,
+        "young_optimum_seconds": young,
+        "points": points,
+    }

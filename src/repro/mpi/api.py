@@ -1,0 +1,157 @@
+"""Rank-facing MPI facade.
+
+Application code receives one :class:`MPI` object per rank; it plays the
+role the ``mpi.h`` module plays for a C program: communicator handles,
+named datatypes, reduction ops, wildcards, request-completion calls, a
+wall-clock (virtual) timer, and the compute-charge hook applications use
+to account modelled computation time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from . import datatypes as _dt
+from . import ops as _ops
+from . import requests as _req
+from .communicator import Communicator, Group, PROC_NULL, TAG_UB
+from .engine import RankContext
+from .matching import ANY_SOURCE, ANY_TAG
+from .requests import Request
+from .status import Status
+
+
+class MPI:
+    """Per-rank MPI world view."""
+
+    # wildcards / sentinels
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+    PROC_NULL = PROC_NULL
+    TAG_UB = TAG_UB
+
+    # named datatypes
+    BYTE = _dt.BYTE
+    CHAR = _dt.CHAR
+    SHORT = _dt.SHORT
+    INT = _dt.INT
+    LONG = _dt.LONG
+    UNSIGNED = _dt.UNSIGNED
+    UNSIGNED_LONG = _dt.UNSIGNED_LONG
+    FLOAT = _dt.FLOAT
+    DOUBLE = _dt.DOUBLE
+    COMPLEX = _dt.COMPLEX
+    DOUBLE_COMPLEX = _dt.DOUBLE_COMPLEX
+    BOOL = _dt.BOOL
+
+    # reduction ops
+    SUM = _ops.SUM
+    PROD = _ops.PROD
+    MAX = _ops.MAX
+    MIN = _ops.MIN
+    LAND = _ops.LAND
+    LOR = _ops.LOR
+    LXOR = _ops.LXOR
+    BAND = _ops.BAND
+    BOR = _ops.BOR
+    BXOR = _ops.BXOR
+    MAXLOC = _ops.MAXLOC
+    MINLOC = _ops.MINLOC
+
+    def __init__(self, ctx: RankContext):
+        self._ctx = ctx
+        world_group = Group(range(ctx.engine.nprocs))
+        self.COMM_WORLD = Communicator(
+            ctx, world_group, ctx.engine.WORLD_CTX, ctx.engine.WORLD_SHADOW,
+            name="MPI_COMM_WORLD",
+        )
+        self.COMM_SELF = Communicator(
+            ctx, Group([ctx.rank]),
+            *ctx.engine.context_for(("self", ctx.rank)), name="MPI_COMM_SELF",
+        )
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._ctx.rank
+
+    @property
+    def size(self) -> int:
+        return self._ctx.engine.nprocs
+
+    def Get_processor_name(self) -> str:
+        node = self._ctx.rank // max(1, self._ctx.machine.procs_per_node)
+        return f"{self._ctx.machine.name}-node{node:04d}"
+
+    # -- time ------------------------------------------------------------------
+    def Wtime(self) -> float:
+        """Virtual wall-clock seconds on this rank."""
+        return self._ctx.clock.now
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of modelled local computation."""
+        self._ctx.clock.advance(seconds)
+
+    def work(self, flops: float) -> None:
+        """Charge modelled computation given a FLOP count."""
+        self._ctx.clock.advance(flops / self._ctx.machine.flops_per_proc)
+
+    # -- datatype constructors ---------------------------------------------------
+    def Type_contiguous(self, count: int, base: _dt.Datatype) -> _dt.ContiguousType:
+        return _dt.ContiguousType(count, base)
+
+    def Type_vector(self, count: int, blocklength: int, stride: int,
+                    base: _dt.Datatype) -> _dt.VectorType:
+        return _dt.VectorType(count, blocklength, stride, base)
+
+    def Type_indexed(self, blocklengths: Sequence[int], displacements: Sequence[int],
+                     base: _dt.Datatype) -> _dt.IndexedType:
+        return _dt.IndexedType(blocklengths, displacements, base)
+
+    def Type_create_struct(self, blocklengths: Sequence[int],
+                           displacements: Sequence[int],
+                           types: Sequence[_dt.Datatype]) -> _dt.StructType:
+        return _dt.StructType(blocklengths, displacements, types)
+
+    def Op_create(self, fn, commute: bool = True, name: str = "user") -> _ops.Op:
+        return _ops.Op.create(fn, commute=commute, name=name)
+
+    # -- request completion --------------------------------------------------------
+    def Wait(self, request: Request) -> Status:
+        return request.wait()
+
+    def Test(self, request: Request) -> Tuple[bool, Optional[Status]]:
+        return request.test()
+
+    def Waitall(self, requests: Sequence[Request]) -> List[Status]:
+        return _req.wait_all(requests)
+
+    def Waitany(self, requests: Sequence[Request]) -> Tuple[int, Status]:
+        return _req.wait_any(requests)
+
+    def Waitsome(self, requests: Sequence[Request]) -> Tuple[List[int], List[Status]]:
+        return _req.wait_some(requests)
+
+    def Testall(self, requests: Sequence[Request]):
+        return _req.test_all(requests)
+
+    def Testany(self, requests: Sequence[Request]):
+        return _req.test_any(requests)
+
+    # -- buffer attach (tracked for checkpointing of "basic MPI state") -------------
+    def Buffer_attach(self, nbytes: int) -> None:
+        self._ctx.scratch.setdefault("attached_buffers", []).append(int(nbytes))
+
+    def Buffer_detach(self) -> int:
+        bufs = self._ctx.scratch.get("attached_buffers", [])
+        return bufs.pop() if bufs else 0
+
+    @property
+    def attached_buffers(self) -> List[int]:
+        return list(self._ctx.scratch.get("attached_buffers", []))
+
+    # -- abort ------------------------------------------------------------------------
+    def Abort(self, errorcode: int = 1) -> None:
+        from .errors import ProcessFailure
+        raise ProcessFailure(self._ctx.rank, self._ctx.clock.now,
+                             f"MPI_Abort({errorcode})")

@@ -1,0 +1,246 @@
+"""Job engine: runs one simulated MPI job, one thread per rank.
+
+The engine owns the mailboxes, the virtual-time machine model, the fault
+plan, and the communicator context-id registry.  ``Engine.run(main)``
+spawns ``nprocs`` threads; each executes ``main(mpi)`` where ``mpi`` is the
+rank's :class:`~repro.mpi.api.MPI` facade.  The engine collects per-rank
+return values, final virtual clocks, and traffic statistics into a
+:class:`JobResult`.
+
+Failure semantics: a triggered :class:`ProcessFailure` kills its rank,
+sets the job-wide abort flag, and every other rank unwinds with
+:class:`JobAborted` at its next blocking point — fail-stop detection.
+Any other exception in application code also aborts the job but is
+recorded (and re-raised by :meth:`JobResult.raise_errors`) so test
+failures surface instead of hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .errors import DeadlockError, JobAborted, ProcessFailure
+from .faults import FaultPlan
+from .matching import Mailbox
+from .message import Envelope
+from .timemodel import MachineModel, RankClock, TESTING
+
+
+class RankContext:
+    """Everything the runtime knows about one rank."""
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.machine = engine.machine
+        self.clock = RankClock()
+        self.mailbox = engine.mailboxes[rank]
+        self.op_count = 0
+        self.sent_count = 0
+        self.sent_bytes = 0
+        #: scratch space for runtime-internal per-rank state (collective tag
+        #: sequence numbers, attached buffers, ...)
+        self.scratch: Dict[Any, Any] = {}
+        self._send_seq: Dict[Tuple[int, int], int] = {}
+
+    # -- hooks charged on every MPI call ------------------------------------
+    def enter_mpi_call(self) -> None:
+        """Account one MPI operation: overhead charge + fault check + abort check."""
+        if self.engine.abort_event.is_set() and self.engine.failure is not None:
+            raise JobAborted()
+        self.op_count += 1
+        self.clock.advance(self.machine.call_overhead)
+        self.engine.fault_plan.check(self.rank, self.op_count, self.clock.now)
+
+    def poll_hook(self) -> None:
+        """Runs on every wakeup of a blocking wait (fault + watchdog checks)."""
+        self.engine.check_deadline()
+        self.engine.fault_plan.check(self.rank, self.op_count, self.clock.now)
+
+    # -- envelope transmission ----------------------------------------------
+    def post_envelope(self, env: Envelope) -> None:
+        """Timestamp, sequence, and deliver an envelope to its destination."""
+        extra = 0.0
+        if env.piggyback is not None:
+            pb_bytes = getattr(env.piggyback, "nbytes",
+                               self.machine.piggyback_bytes)
+            extra = (pb_bytes / self.machine.bandwidth
+                     + self.machine.piggyback_overhead)
+        env.send_time = self.clock.now
+        env.avail_time = (self.clock.now
+                          + self.machine.transfer_time(env.nbytes) + extra)
+        key = (env.dest, env.context_id)
+        env.seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = env.seq + 1
+        self.sent_count += 1
+        self.sent_bytes += env.nbytes
+        self.engine.mailboxes[env.dest].deliver(env)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one engine run."""
+
+    nprocs: int
+    returns: List[Any]
+    clocks: List[float]
+    failure: Optional[ProcessFailure]
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+    sent_counts: List[int] = field(default_factory=list)
+    sent_bytes: List[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def aborted(self) -> bool:
+        return self.failure is not None or bool(self.errors)
+
+    @property
+    def virtual_time(self) -> float:
+        """Job makespan in virtual seconds (max over ranks)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    def raise_errors(self) -> None:
+        """Re-raise the first non-fault application error, if any."""
+        if self.errors:
+            rank, tb = self.errors[0]
+            raise RuntimeError(f"rank {rank} raised:\n{tb}")
+
+
+class Engine:
+    """One simulated MPI job."""
+
+    #: world communicator context ids
+    WORLD_CTX = 0
+    WORLD_SHADOW = 1
+
+    def __init__(self, nprocs: int, machine: MachineModel = TESTING,
+                 fault_plan: Optional[FaultPlan] = None, seed: int = 0,
+                 wall_timeout: float = 300.0):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine
+        self.seed = seed
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.abort_event = threading.Event()
+        self.failure: Optional[ProcessFailure] = None
+        self.mailboxes = [Mailbox(r, self.abort_event) for r in range(nprocs)]
+        self._ctx_lock = threading.Lock()
+        self._ctx_registry: Dict[Any, Tuple[int, int]] = {}
+        self._next_cid = 4
+        self._wall_timeout = wall_timeout
+        self._deadline = 0.0
+        self.rank_contexts: List[RankContext] = []
+
+    # -- communicator context ids ------------------------------------------
+    def context_for(self, key) -> Tuple[int, int]:
+        """Deterministic (context, shadow) pair for a creation key.
+
+        All members of a collective creation call compute the same key, so
+        they all receive the same ids without extra synchronization.
+        """
+        with self._ctx_lock:
+            if key not in self._ctx_registry:
+                self._ctx_registry[key] = (self._next_cid, self._next_cid + 1)
+                self._next_cid += 2
+            return self._ctx_registry[key]
+
+    # -- watchdog -------------------------------------------------------------
+    def check_deadline(self) -> None:
+        if self._deadline and _time.monotonic() > self._deadline:
+            if not self.abort_event.is_set():
+                self.abort(None)
+            raise DeadlockError(
+                f"job exceeded wall timeout of {self._wall_timeout}s "
+                "(likely deadlock)"
+            )
+
+    def abort(self, failure: Optional[ProcessFailure]) -> None:
+        """Mark the job failed and wake every blocked rank."""
+        if failure is not None and self.failure is None:
+            self.failure = failure
+        self.abort_event.set()
+        for mb in self.mailboxes:
+            mb.notify()
+
+    # -- run --------------------------------------------------------------------
+    def run(self, main: Callable, args: Tuple = (), wall_timeout: Optional[float] = None) -> JobResult:
+        """Execute ``main(mpi, *args)`` on every rank and gather the results."""
+        from .api import MPI  # local import to avoid a cycle
+
+        timeout = wall_timeout if wall_timeout is not None else self._wall_timeout
+        self._deadline = _time.monotonic() + timeout
+        self.rank_contexts = [RankContext(self, r) for r in range(self.nprocs)]
+        returns: List[Any] = [None] * self.nprocs
+        errors: List[Tuple[int, str]] = []
+        errors_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            ctx = self.rank_contexts[rank]
+            mpi = MPI(ctx)
+            try:
+                returns[rank] = main(mpi, *args)
+            except ProcessFailure as pf:
+                self.abort(pf)
+            except JobAborted:
+                pass
+            except DeadlockError as exc:
+                with errors_lock:
+                    if not any(r == rank for r, _ in errors):
+                        errors.append((rank, str(exc)))
+                self.abort(None)
+            except BaseException:
+                with errors_lock:
+                    errors.append((rank, traceback.format_exc()))
+                self.abort(None)
+
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(1 << 20)
+        except (ValueError, RuntimeError):  # pragma: no cover - platform quirk
+            pass
+        t0 = _time.monotonic()
+        threads = [threading.Thread(target=worker, args=(r,), daemon=True,
+                                    name=f"rank-{r}")
+                   for r in range(self.nprocs)]
+        try:
+            threading.stack_size(old_stack)
+        except (ValueError, RuntimeError):  # pragma: no cover
+            pass
+        for t in threads:
+            t.start()
+        for t in threads:
+            # Join with a margin beyond the deadlock watchdog.
+            t.join(timeout + 30.0)
+        wall = _time.monotonic() - t0
+
+        if any(t.is_alive() for t in threads):  # pragma: no cover - watchdog
+            self.abort(None)
+            for t in threads:
+                t.join(5.0)
+            errors.append((-1, "engine watchdog: some ranks never terminated"))
+
+        return JobResult(
+            nprocs=self.nprocs,
+            returns=returns,
+            clocks=[c.clock.now for c in self.rank_contexts],
+            failure=self.failure,
+            errors=errors,
+            sent_counts=[c.sent_count for c in self.rank_contexts],
+            sent_bytes=[c.sent_bytes for c in self.rank_contexts],
+            wall_seconds=wall,
+        )
+
+
+def run_job(nprocs: int, main: Callable, args: Tuple = (),
+            machine: MachineModel = TESTING,
+            fault_plan: Optional[FaultPlan] = None, seed: int = 0,
+            wall_timeout: float = 300.0) -> JobResult:
+    """Convenience wrapper: build an :class:`Engine` and run one job."""
+    engine = Engine(nprocs, machine=machine, fault_plan=fault_plan, seed=seed,
+                    wall_timeout=wall_timeout)
+    return engine.run(main, args=args)

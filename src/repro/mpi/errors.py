@@ -1,0 +1,76 @@
+"""Exception hierarchy for the simulated MPI runtime.
+
+The simulator distinguishes three families of errors:
+
+* :class:`MPIError` and subclasses — misuse of the MPI-like API by the
+  application (bad rank, truncation, freed handles, ...).  These mirror the
+  error classes a real MPI library would raise.
+* :class:`ProcessFailure` — an injected fail-stop fault.  It is raised
+  *inside* the failing rank's thread and is never visible to the
+  application code of other ranks.
+* :class:`JobAborted` — raised in surviving ranks when the job has been
+  torn down because some rank failed (fail-stop detection).  The restart
+  harness catches this at the job level.
+"""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class InvalidRankError(MPIError):
+    """A rank argument is outside the communicator's size."""
+
+
+class InvalidTagError(MPIError):
+    """A tag argument is negative (and not a wildcard) or too large."""
+
+
+class TruncationError(MPIError):
+    """An incoming message is larger than the posted receive buffer."""
+
+
+class InvalidDatatypeError(MPIError):
+    """A datatype handle is invalid, freed, or uncommitted."""
+
+
+class InvalidCommunicatorError(MPIError):
+    """A communicator handle is invalid or freed."""
+
+class InvalidRequestError(MPIError):
+    """A request handle is invalid or already released."""
+
+
+class InvalidOpError(MPIError):
+    """A reduction-operation handle is invalid."""
+
+
+class SimulationError(Exception):
+    """Base class for errors of the simulation fabric itself."""
+
+
+class ProcessFailure(SimulationError):
+    """Injected fail-stop fault; terminates the raising rank immediately.
+
+    Carries the failing ``rank`` and the virtual ``time`` of the failure so
+    harnesses can log where the fault landed.
+    """
+
+    def __init__(self, rank: int, time: float, reason: str = "injected fail-stop fault"):
+        super().__init__(f"rank {rank} failed at t={time:.6f}: {reason}")
+        self.rank = rank
+        self.time = time
+        self.reason = reason
+
+
+class JobAborted(SimulationError):
+    """The job was aborted (some rank failed); surviving ranks unwind."""
+
+    def __init__(self, message: str = "job aborted due to process failure"):
+        super().__init__(message)
+
+
+class DeadlockError(SimulationError):
+    """All live ranks are blocked and no message can ever arrive."""

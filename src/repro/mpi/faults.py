@@ -1,0 +1,79 @@
+"""Fail-stop fault injection.
+
+The paper's fault model (footnote 1) is fail-stop: a failing processor
+simply stops; it never sends erroneous messages.  A :class:`FaultPlan`
+schedules fail-stop faults on chosen ranks, triggered either after the
+rank's N-th MPI operation, at a virtual time, or with a per-operation
+probability (seeded, so runs are repeatable).
+
+The engine checks the plan on entry to every MPI operation and from the
+poll hook of blocking waits; a triggered fault raises
+:class:`~repro.mpi.errors.ProcessFailure` inside the rank's thread, the
+engine marks the job failed, and all surviving ranks unwind with
+:class:`~repro.mpi.errors.JobAborted` — which is how the peers "detect"
+the failure.  The restart harness then relaunches the job from the last
+committed recovery line.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import ProcessFailure
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fail-stop fault."""
+
+    rank: int
+    #: fire when the rank has performed this many MPI operations
+    after_ops: Optional[int] = None
+    #: fire once the rank's virtual clock passes this time (seconds)
+    at_time: Optional[float] = None
+    #: fire independently at each operation with this probability
+    probability: float = 0.0
+    reason: str = "injected fail-stop fault"
+
+    def __post_init__(self) -> None:
+        if self.after_ops is None and self.at_time is None and self.probability <= 0:
+            raise ValueError("FaultSpec needs after_ops, at_time, or probability")
+
+
+class FaultPlan:
+    """A set of fault specs plus the seeded RNG for probabilistic faults."""
+
+    def __init__(self, specs: Optional[List[FaultSpec]] = None, seed: int = 0):
+        self.specs: Dict[int, List[FaultSpec]] = {}
+        for spec in specs or []:
+            self.specs.setdefault(spec.rank, []).append(spec)
+        self._rng = random.Random(seed)
+        self.fired: List[FaultSpec] = []
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls([])
+
+    def add(self, spec: FaultSpec) -> None:
+        self.specs.setdefault(spec.rank, []).append(spec)
+
+    def check(self, rank: int, op_count: int, now: float) -> None:
+        """Raise :class:`ProcessFailure` if a spec for this rank fires."""
+        for spec in self.specs.get(rank, ()):
+            if spec in self.fired:
+                continue
+            hit = False
+            if spec.after_ops is not None and op_count >= spec.after_ops:
+                hit = True
+            if spec.at_time is not None and now >= spec.at_time:
+                hit = True
+            if spec.probability > 0 and self._rng.random() < spec.probability:
+                hit = True
+            if hit:
+                self.fired.append(spec)
+                raise ProcessFailure(rank, now, spec.reason)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

@@ -1,0 +1,170 @@
+"""Per-rank mailbox with MPI matching semantics.
+
+The mailbox owns two queues:
+
+* ``pending`` — envelopes that have arrived but not yet matched a receive,
+  kept in arrival order (= per-source send order, which is what gives MPI
+  its per-signature non-overtaking guarantee);
+* ``posted`` — receives that have been posted but not yet matched, kept in
+  post order (MPI matches the *earliest* posted receive that fits).
+
+Matching compares ``(context_id, source, tag)`` with ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards.  Messages with different signatures may be consumed
+in any order the application chooses — the property Section 2.4 of the
+paper calls out as breaking Chandy-Lamport's FIFO assumption.
+
+All mailbox state is protected by a single condition variable; blocking
+operations wait on it and are woken by deliveries or by a job abort.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from .errors import JobAborted, TruncationError
+from .message import Envelope
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def signature_matches(env: Envelope, context_id: int, source: int, tag: int) -> bool:
+    """Does an envelope match a receive's ``(context, source, tag)`` triple?"""
+    if env.context_id != context_id:
+        return False
+    if source != ANY_SOURCE and env.source != source:
+        return False
+    if tag != ANY_TAG and env.tag != tag:
+        return False
+    return True
+
+
+class PostedRecv:
+    """A receive posted to the mailbox, waiting for a matching envelope."""
+
+    __slots__ = (
+        "context_id", "source", "tag", "max_bytes", "envelope", "matched",
+        "on_match", "cancelled",
+    )
+
+    def __init__(self, context_id: int, source: int, tag: int, max_bytes: int,
+                 on_match: Optional[Callable[["PostedRecv"], None]] = None):
+        self.context_id = context_id
+        self.source = source
+        self.tag = tag
+        self.max_bytes = max_bytes
+        self.envelope: Optional[Envelope] = None
+        self.matched = False
+        self.cancelled = False
+        self.on_match = on_match
+
+    def accepts(self, env: Envelope) -> bool:
+        return not self.matched and not self.cancelled and signature_matches(
+            env, self.context_id, self.source, self.tag
+        )
+
+    def _match(self, env: Envelope) -> None:
+        if env.nbytes > self.max_bytes:
+            raise TruncationError(
+                f"message of {env.nbytes} bytes truncates receive buffer of "
+                f"{self.max_bytes} bytes (src={env.source}, tag={env.tag})"
+            )
+        self.envelope = env
+        self.matched = True
+        if self.on_match is not None:
+            self.on_match(self)
+
+
+class Mailbox:
+    """All incoming traffic for one rank."""
+
+    def __init__(self, rank: int, abort_event: threading.Event):
+        self.rank = rank
+        self._abort = abort_event
+        self._cond = threading.Condition()
+        self._pending: List[Envelope] = []
+        self._posted: List[PostedRecv] = []
+        #: statistics, read by the harness
+        self.delivered_count = 0
+        self.delivered_bytes = 0
+
+    # -- delivery (called from sender threads) ------------------------------
+    def deliver(self, env: Envelope) -> None:
+        """Hand an envelope to this rank; matches a posted receive if any."""
+        with self._cond:
+            self.delivered_count += 1
+            self.delivered_bytes += env.nbytes
+            for pr in self._posted:
+                if pr.accepts(env):
+                    self._posted.remove(pr)
+                    pr._match(env)
+                    self._cond.notify_all()
+                    return
+            self._pending.append(env)
+            self._cond.notify_all()
+
+    # -- posting receives ----------------------------------------------------
+    def post(self, pr: PostedRecv) -> None:
+        """Post a receive; matches the oldest pending envelope if one fits."""
+        with self._cond:
+            for env in self._pending:
+                if pr.accepts(env):
+                    self._pending.remove(env)
+                    pr._match(env)
+                    self._cond.notify_all()
+                    return
+            self._posted.append(pr)
+
+    def cancel(self, pr: PostedRecv) -> bool:
+        """Cancel a posted receive; returns False if it already matched."""
+        with self._cond:
+            if pr.matched:
+                return False
+            pr.cancelled = True
+            if pr in self._posted:
+                self._posted.remove(pr)
+            return True
+
+    # -- waiting --------------------------------------------------------------
+    def wait_for(self, predicate: Callable[[], bool], poll: Optional[Callable[[], None]] = None) -> None:
+        """Block until ``predicate()`` is true or the job aborts.
+
+        ``poll`` (if given) runs on every wakeup — the engine uses it for
+        fault triggers that fire at a virtual time.
+        """
+        with self._cond:
+            while True:
+                if self._abort.is_set():
+                    raise JobAborted()
+                if predicate():
+                    return
+                if poll is not None:
+                    poll()
+                    if predicate():
+                        return
+                self._cond.wait(timeout=0.05)
+
+    def notify(self) -> None:
+        """Wake any thread blocked on this mailbox (used on job abort)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- probing ---------------------------------------------------------------
+    def probe_pending(self, context_id: int, source: int, tag: int) -> Optional[Envelope]:
+        """First pending envelope matching the triple, without removing it."""
+        with self._cond:
+            for env in self._pending:
+                if signature_matches(env, context_id, source, tag):
+                    return env
+            return None
+
+    def pending_count(self, context_id: Optional[int] = None) -> int:
+        with self._cond:
+            if context_id is None:
+                return len(self._pending)
+            return sum(1 for e in self._pending if e.context_id == context_id)
+
+    def posted_count(self) -> int:
+        with self._cond:
+            return len(self._posted)

@@ -1,0 +1,86 @@
+"""Reduction operations for the simulated MPI runtime.
+
+Operations work element-wise on numpy arrays.  User-defined operations are
+supported through :func:`Op.create`, mirroring ``MPI_Op_create``; the
+commutativity flag is honoured by the reduction algorithms in
+:mod:`repro.mpi.collectives` (non-commutative ops are reduced strictly in
+rank order, as the MPI standard requires).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .errors import InvalidOpError
+
+
+class Op:
+    """A reduction operation: a binary, element-wise combiner.
+
+    ``fn(a, b)`` must accept two numpy arrays (same shape/dtype) and return
+    the combined array.  ``a`` is the partial result accumulated from lower
+    ranks when the op is non-commutative.
+    """
+
+    _next_id = 1
+
+    def __init__(self, name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray], commutative: bool = True):
+        self.name = name
+        self.fn = fn
+        self.commutative = commutative
+        self.freed = False
+        self.handle = Op._next_id
+        Op._next_id += 1
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.freed:
+            raise InvalidOpError(f"operation {self.name} has been freed")
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op({self.name}, commutative={self.commutative})"
+
+    @classmethod
+    def create(cls, fn: Callable[[np.ndarray, np.ndarray], np.ndarray], commute: bool = True, name: str = "user") -> "Op":
+        """Create a user-defined reduction operation (``MPI_Op_create``)."""
+        return cls(name, fn, commutative=commute)
+
+    def free(self) -> None:
+        """Release the operation (``MPI_Op_free``)."""
+        self.freed = True
+
+
+def _maxloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # value/index pairs: arrays of shape (..., 2); ties pick the lower index.
+    out = a.copy()
+    take_b = (b[..., 0] > a[..., 0]) | ((b[..., 0] == a[..., 0]) & (b[..., 1] < a[..., 1]))
+    out[take_b] = b[take_b]
+    return out
+
+
+def _minloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = a.copy()
+    take_b = (b[..., 0] < a[..., 0]) | ((b[..., 0] == a[..., 0]) & (b[..., 1] < a[..., 1]))
+    out[take_b] = b[take_b]
+    return out
+
+
+SUM = Op("MPI_SUM", lambda a, b: a + b)
+PROD = Op("MPI_PROD", lambda a, b: a * b)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", np.logical_and)
+LOR = Op("MPI_LOR", np.logical_or)
+LXOR = Op("MPI_LXOR", np.logical_xor)
+BAND = Op("MPI_BAND", np.bitwise_and)
+BOR = Op("MPI_BOR", np.bitwise_or)
+BXOR = Op("MPI_BXOR", np.bitwise_xor)
+MAXLOC = Op("MPI_MAXLOC", _maxloc)
+MINLOC = Op("MPI_MINLOC", _minloc)
+
+BUILTIN_OPS = {
+    op.name: op
+    for op in (SUM, PROD, MAX, MIN, LAND, LOR, LXOR, BAND, BOR, BXOR, MAXLOC, MINLOC)
+}

@@ -1,0 +1,30 @@
+"""``MPI_Status`` analog: who sent a received message, with what tag/size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Status:
+    """Filled in by receive and wait/test operations.
+
+    ``source`` and ``tag`` resolve wildcards; ``count`` is the number of
+    elements actually received, and ``nbytes`` the payload size in bytes.
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    nbytes: int = 0
+    cancelled: bool = False
+    error: int = 0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> int:
+        return self.count

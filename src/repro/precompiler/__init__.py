@@ -1,0 +1,6 @@
+"""The C3 (pre)compiler: source-to-source instrumentation (Figure 1)."""
+
+from .directives import DirectiveError, preprocess
+from .transform import TransformError, instrument
+
+__all__ = ["instrument", "preprocess", "DirectiveError", "TransformError"]

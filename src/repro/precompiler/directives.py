@@ -1,0 +1,79 @@
+"""``# ccc:`` directive parsing.
+
+The C3 precompiler reads "almost unmodified" source; the only additions
+the programmer makes are directives.  The Python reproduction supports:
+
+* ``# ccc: save(a, b, c)`` — the named variables are checkpointable
+  state; every read/write is redirected to ``ctx.state``;
+* ``# ccc: setup-end`` — everything above this line (after the docstring)
+  is one-time initialization, skipped when restarting from a checkpoint;
+* ``# ccc: loop(name)`` — the next ``for`` statement becomes a resumable
+  loop (its ``range`` is rewritten to ``ctx.range``);
+* ``# ccc: checkpoint`` — the ``#pragma ccc checkpoint`` site.
+
+Directives must stand on their own line.  :func:`preprocess` rewrites
+them into sentinel statements the AST transformer can see (comments do
+not survive parsing), preserving line numbers exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+
+class DirectiveError(Exception):
+    """A malformed ``# ccc:`` directive."""
+
+
+_DIRECTIVE_RE = re.compile(r"^(\s*)#\s*ccc:\s*(.+?)\s*$")
+_SAVE_RE = re.compile(r"^save\(\s*([A-Za-z_][\w\s,]*)\)$")
+_LOOP_RE = re.compile(r"^loop\(\s*([A-Za-z_]\w*)\s*\)$")
+
+#: sentinel function names consumed by the AST pass
+SENTINEL_SAVE = "__ccc_save__"
+SENTINEL_SETUP_END = "__ccc_setup_end__"
+SENTINEL_LOOP = "__ccc_loop__"
+
+
+def preprocess(source: str) -> Tuple[str, int]:
+    """Rewrite directive comments into sentinel statements.
+
+    Returns (new_source, directive_count).  Line numbers are preserved:
+    each directive line is replaced in place.
+    """
+    out: List[str] = []
+    count = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE_RE.match(line)
+        if m is None:
+            if "# ccc" in line and "ccc:" in line.replace(" ", ""):
+                raise DirectiveError(
+                    f"line {lineno}: a ccc directive must stand on its own "
+                    f"line: {line.strip()!r}"
+                )
+            out.append(line)
+            continue
+        indent, body = m.group(1), m.group(2)
+        count += 1
+        if body == "checkpoint":
+            out.append(f"{indent}ctx.checkpoint()")
+        elif body == "setup-end":
+            out.append(f"{indent}{SENTINEL_SETUP_END}()")
+        else:
+            sm = _SAVE_RE.match(body)
+            if sm:
+                names = [n.strip() for n in sm.group(1).split(",") if n.strip()]
+                if not names:
+                    raise DirectiveError(f"line {lineno}: empty save() list")
+                args = ", ".join(repr(n) for n in names)
+                out.append(f"{indent}{SENTINEL_SAVE}({args})")
+                continue
+            lm = _LOOP_RE.match(body)
+            if lm:
+                out.append(f"{indent}{SENTINEL_LOOP}({lm.group(1)!r})")
+                continue
+            raise DirectiveError(
+                f"line {lineno}: unknown ccc directive {body!r}"
+            )
+    return "\n".join(out), count

@@ -1,0 +1,241 @@
+"""AST instrumentation: the compile-time half of Figure 1.
+
+:func:`instrument` takes a plain Python function annotated with ``# ccc:``
+directives and produces the self-checkpointing equivalent a C3 user would
+get from the precompiler:
+
+* saved variables live in ``ctx.state`` (reads and writes are redirected),
+  so the runtime's state description always covers them;
+* the one-time setup section is wrapped in a replay guard and skipped
+  after a restart;
+* marked loops resume from the checkpointed iteration;
+* ``# ccc: checkpoint`` lines become ``ctx.checkpoint()`` pragma calls.
+
+The instrumented function must take ``ctx`` as its first parameter (the
+runtime context plays the role of C3's utility-library handle).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, List, Optional, Set
+
+from .directives import (
+    DirectiveError, SENTINEL_LOOP, SENTINEL_SAVE, SENTINEL_SETUP_END,
+    preprocess,
+)
+
+
+class TransformError(Exception):
+    """The function cannot be instrumented as written."""
+
+
+def _is_sentinel_call(node: ast.stmt, name: str) -> bool:
+    return (isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == name)
+
+
+class _StateRewriter(ast.NodeTransformer):
+    """Redirect saved-variable reads/writes to ``ctx.state``."""
+
+    def __init__(self, saved: Set[str]):
+        self.saved = saved
+
+    def visit_Name(self, node: ast.Name):
+        if node.id in self.saved:
+            return ast.copy_location(
+                ast.Attribute(
+                    value=ast.Attribute(
+                        value=ast.Name(id="ctx", ctx=ast.Load()),
+                        attr="state", ctx=ast.Load()),
+                    attr=node.id, ctx=node.ctx),
+                node)
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        raise TransformError(
+            "nested function definitions are not supported by the "
+            "precompiler (the paper's restricted-C analog)"
+        )
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class _LoopRewriter(ast.NodeTransformer):
+    """Apply ``__ccc_loop__`` sentinels to the following for-statement."""
+
+    def _transform_body(self, body: List[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        pending_loop: Optional[str] = None
+        for stmt in body:
+            if _is_sentinel_call(stmt, SENTINEL_LOOP):
+                if pending_loop is not None:
+                    raise TransformError("two loop directives in a row")
+                arg = stmt.value.args[0]
+                pending_loop = arg.value
+                continue
+            if pending_loop is not None:
+                if not isinstance(stmt, ast.For):
+                    raise TransformError(
+                        f"ccc: loop({pending_loop}) must be followed by a "
+                        "for statement"
+                    )
+                stmt = self._rewrite_for(stmt, pending_loop)
+                pending_loop = None
+            stmt = self.generic_visit(stmt)
+            out.append(stmt)
+        if pending_loop is not None:
+            raise TransformError(
+                f"ccc: loop({pending_loop}) has no following for statement")
+        return out
+
+    def _rewrite_for(self, node: ast.For, name: str) -> ast.For:
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range"):
+            raise TransformError(
+                f"ccc: loop({name}) requires 'for ... in range(...)'"
+            )
+        new_iter = ast.Call(
+            func=ast.Attribute(value=ast.Name(id="ctx", ctx=ast.Load()),
+                               attr="range", ctx=ast.Load()),
+            args=[ast.Constant(value=name)] + it.args,
+            keywords=it.keywords,
+        )
+        node.iter = ast.copy_location(new_iter, it)
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        node.body = self._transform_body(node.body)
+        return node
+
+    def visit_For(self, node: ast.For):
+        node.body = self._transform_body(node.body)
+        node.orelse = self._transform_body(node.orelse)
+        return node
+
+    def visit_While(self, node: ast.While):
+        node.body = self._transform_body(node.body)
+        node.orelse = self._transform_body(node.orelse)
+        return node
+
+    def visit_If(self, node: ast.If):
+        node.body = self._transform_body(node.body)
+        node.orelse = self._transform_body(node.orelse)
+        return node
+
+    def visit_With(self, node: ast.With):
+        node.body = self._transform_body(node.body)
+        return node
+
+
+def _assigned_names(stmts: List[ast.stmt]) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+    return names
+
+
+def instrument(fn: Callable) -> Callable:
+    """Instrument ``fn`` (annotated with ``# ccc:`` directives).
+
+    Returns a new function with the same signature, compiled in the same
+    global namespace.
+    """
+    try:
+        source = inspect.getsource(fn)
+    except OSError as exc:  # pragma: no cover - interactive definitions
+        raise TransformError(f"cannot read source of {fn.__name__}: {exc}")
+    source = textwrap.dedent(source)
+    processed, n_directives = preprocess(source)
+    tree = ast.parse(processed)
+    funcdef = tree.body[0]
+    if not isinstance(funcdef, ast.FunctionDef):
+        raise TransformError("instrument() expects a plain function")
+    # strip decorators so instrumenting a decorated definition cannot recurse
+    funcdef.decorator_list = []
+    args = [a.arg for a in funcdef.args.args]
+    if not args or args[0] != "ctx":
+        raise TransformError(
+            f"{fn.__name__} must take 'ctx' as its first parameter"
+        )
+
+    # ---- collect save() directives and the setup boundary ------------------
+    saved: Set[str] = set()
+    setup_end_idx: Optional[int] = None
+    body: List[ast.stmt] = []
+    for stmt in funcdef.body:
+        if _is_sentinel_call(stmt, SENTINEL_SAVE):
+            for arg in stmt.value.args:
+                saved.add(arg.value)
+            continue
+        if _is_sentinel_call(stmt, SENTINEL_SETUP_END):
+            if setup_end_idx is not None:
+                raise TransformError("duplicate ccc: setup-end")
+            setup_end_idx = len(body)
+            continue
+        body.append(stmt)
+    if saved & {"ctx"}:
+        raise TransformError("'ctx' cannot be a saved variable")
+
+    # ---- setup guard ----------------------------------------------------------
+    if setup_end_idx is not None:
+        start = 0
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            start = 1  # keep the docstring outside the guard
+        setup = body[start:setup_end_idx]
+        rest = body[setup_end_idx:]
+        if not setup:
+            raise TransformError("ccc: setup-end with an empty setup section")
+        # Locals assigned in the setup but not saved would be undefined
+        # after a restart (the guard skips the section).
+        leaked = (_assigned_names(setup) - saved) - {"_"}
+        used_later = {
+            node.id for stmt in rest for node in ast.walk(stmt)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+        }
+        leaked &= used_later
+        if leaked:
+            raise TransformError(
+                "setup section assigns variables that are used later but "
+                f"not saved: {sorted(leaked)} — add them to ccc: save(...)"
+            )
+        guard_name = "__setup__"
+        guard = ast.If(
+            test=ast.Call(
+                func=ast.Attribute(value=ast.Name(id="ctx", ctx=ast.Load()),
+                                   attr="first_time", ctx=ast.Load()),
+                args=[ast.Constant(value=guard_name)], keywords=[]),
+            body=setup + [ast.Expr(value=ast.Call(
+                func=ast.Attribute(value=ast.Name(id="ctx", ctx=ast.Load()),
+                                   attr="done", ctx=ast.Load()),
+                args=[ast.Constant(value=guard_name)], keywords=[]))],
+            orelse=[],
+        )
+        body = body[:start] + [guard] + rest
+
+    funcdef.body = body
+
+    # ---- loop + state rewrites ---------------------------------------------------
+    _LoopRewriter().visit(funcdef)
+    if saved:
+        rewriter = _StateRewriter(saved)
+        funcdef.body = [rewriter.visit(stmt) for stmt in funcdef.body]
+
+    ast.fix_missing_locations(tree)
+    code = compile(tree, filename=f"<ccc:{fn.__name__}>", mode="exec")
+    namespace = dict(fn.__globals__)
+    exec(code, namespace)
+    instrumented = namespace[funcdef.name]
+    instrumented.__ccc_saved__ = sorted(saved)
+    instrumented.__ccc_directives__ = n_directives
+    instrumented.__wrapped__ = fn
+    return instrumented

@@ -1,0 +1,106 @@
+"""Versioned checkpoint files.
+
+``chkpt_StartCheckpoint`` "creates a checkpoint version and directory"
+(Figure 5) and writes sections into it; ``chkpt_CommitCheckpoint`` adds
+the late-message registry and commits.  :class:`CheckpointWriter` and
+:class:`CheckpointReader` implement that file format over a storage
+backend: named sections, each a serialized value, committed atomically
+with a per-rank marker.
+
+The writer supports a *dry-run* mode in which all serialization work is
+performed and byte counts accounted, but nothing is stored — this is
+configuration #2 of Tables 4 and 5 ("going through the motions of taking
+a checkpoint without actually saving anything to disk").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..storage.manifest import record_commit, section_path
+from ..storage.stable import StorageBackend, StorageError
+from .serializer import Serializer
+
+
+class CheckpointError(Exception):
+    """Invalid checkpoint operation (double commit, missing section, ...)."""
+
+
+class CheckpointWriter:
+    """Accumulates sections for one (version, rank) checkpoint."""
+
+    def __init__(self, storage: StorageBackend, version: int, rank: int,
+                 portable: bool = False, dry_run: bool = False):
+        self.storage = storage
+        self.version = version
+        self.rank = rank
+        self.dry_run = dry_run
+        self._serializer = Serializer(portable=portable)
+        self._written: Dict[str, int] = {}
+        self.committed = False
+
+    def save(self, section: str, value: Any) -> int:
+        """Serialize and store one section; returns its size in bytes."""
+        if self.committed:
+            raise CheckpointError("checkpoint already committed")
+        if section in self._written:
+            raise CheckpointError(f"section {section!r} already written")
+        payload = self._serializer.dumps(value)
+        if not self.dry_run:
+            self.storage.write(section_path(self.version, self.rank, section),
+                               payload)
+        self._written[section] = len(payload)
+        return len(payload)
+
+    @property
+    def bytes_written(self) -> int:
+        """Total serialized bytes across all sections written so far."""
+        return sum(self._written.values())
+
+    @property
+    def sections(self) -> List[str]:
+        """Names of the sections written so far (sorted)."""
+        return sorted(self._written)
+
+    def commit(self) -> None:
+        """Write the commit marker; the checkpoint becomes restart-eligible."""
+        if self.committed:
+            raise CheckpointError("checkpoint already committed")
+        if not self.dry_run:
+            record_commit(self.storage, self.version, self.rank)
+        self.committed = True
+
+
+class CheckpointReader:
+    """Reads sections of one (version, rank) checkpoint."""
+
+    def __init__(self, storage: StorageBackend, version: int, rank: int):
+        self.storage = storage
+        self.version = version
+        self.rank = rank
+        self._serializer = Serializer()
+
+    def load(self, section: str) -> Any:
+        """Read and deserialize one section (raises if missing)."""
+        try:
+            payload = self.storage.read(
+                section_path(self.version, self.rank, section))
+        except StorageError:
+            raise CheckpointError(
+                f"rank {self.rank} checkpoint v{self.version} has no section "
+                f"{section!r}"
+            ) from None
+        return self._serializer.loads(payload)
+
+    def has(self, section: str) -> bool:
+        """Does this checkpoint contain ``section``?"""
+        return self.storage.exists(section_path(self.version, self.rank, section))
+
+    def total_bytes(self) -> int:
+        """Payload bytes of every stored section (excluding the marker)."""
+        prefix = f"ckpt/v{self.version}/rank{self.rank}/"
+        return sum(
+            len(self.storage.read(p))
+            for p in self.storage.list(prefix)
+            if not p.endswith("/COMMIT")
+        )

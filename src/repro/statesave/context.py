@@ -1,0 +1,306 @@
+"""Application context: checkpointable state + resumable control flow.
+
+C3's precompiler rewrites a C program so that its variables are registered
+with the runtime and execution can resume at a pragma after restart.  In
+this Python reproduction, applications are written against (or rewritten
+by :mod:`repro.precompiler` into) the :class:`Context` API:
+
+* ``ctx.state`` — the checkpointable variable set (numpy arrays and
+  scalars).  This is what a recovery line stores for the process.
+* ``ctx.range(name, ...)`` — a resumable loop.  The loop counter lives in
+  ``ctx.state``; after a restart the loop continues from the iteration
+  the checkpoint was taken in.  **Place the checkpoint pragma as the
+  first statement of the loop body** (equivalent to the paper's "bottom
+  of the main loop" placement — the bottom of iteration *i* is the top of
+  iteration *i+1*), so re-executing the current iteration from its top is
+  exactly "resuming at the checkpointed location".
+* ``ctx.first_time(name)`` / ``ctx.done(name)`` — replay guards for
+  one-time setup sections (the analog of the program text *before* the
+  resume jump target, which a restarted C3 program skips).
+* ``ctx.checkpoint(force=...)`` — the ``#pragma ccc checkpoint`` site.
+* ``ctx.comm`` — the communicator the application talks to.  Under C3 it
+  is the protocol-wrapped communicator; in an original (non-fault-
+  tolerant) run it is a thin adapter over the raw simulated MPI.
+
+The same application function therefore runs unmodified in three modes:
+original, C3 without checkpoints, and C3 with checkpoint/restart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from ..mpi.api import MPI
+from .heap import SimHeap
+from .registry import VariableRegistry
+
+
+class StateError(Exception):
+    """Invalid use of the checkpointable state."""
+
+
+class AppState:
+    """Dict-like checkpointable variable set with attribute access."""
+
+    def __init__(self, values: Optional[Dict[str, Any]] = None):
+        object.__setattr__(self, "_values", dict(values or {}))
+
+    # -- mapping protocol ----------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise StateError(f"no state variable {name!r}") from None
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self._values[name] = value
+
+    def __delitem__(self, name: str) -> None:
+        try:
+            del self._values[name]
+        except KeyError:
+            raise StateError(f"no state variable {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._values.get(name, default)
+
+    def setdefault(self, name: str, default: Any) -> Any:
+        return self._values.setdefault(name, default)
+
+    # -- attribute sugar ------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(f"no state variable {name!r}") from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self._values[name] = value
+
+    # -- checkpoint plumbing -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self._values)
+
+    def replace_all(self, values: Dict[str, Any]) -> None:
+        self._values.clear()
+        self._values.update(values)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes a checkpoint of this state would hold."""
+        total = 0
+        for v in self._values.values():
+            if isinstance(v, np.ndarray):
+                total += v.nbytes
+            elif isinstance(v, (bytes, bytearray, str)):
+                total += len(v)
+            else:
+                total += 16
+        return total
+
+
+class RawCommAdapter:
+    """Thin pass-through giving a raw Communicator the protocol interface.
+
+    The C3 protocol wrapper exposes ``wait``/``test``/... as methods (it
+    must interpose on them); this adapter mirrors that surface for
+    original runs so applications are mode-agnostic.
+    """
+
+    def __init__(self, comm, mpi: MPI):
+        self._comm = comm
+        self._mpi = mpi
+
+    def __getattr__(self, name: str):
+        return getattr(self._comm, name)
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    # communicator creation returns wrapped handles so the adapter surface
+    # is preserved on sub-communicators too
+    def Dup(self, name=None):
+        return RawCommAdapter(self._comm.Dup(name), self._mpi)
+
+    def Split(self, color, key=0):
+        sub = self._comm.Split(color, key)
+        return RawCommAdapter(sub, self._mpi) if sub is not None else None
+
+    def Cart_create(self, dims, periods, reorder=False):
+        return RawCommAdapter(self._comm.Cart_create(dims, periods, reorder),
+                              self._mpi)
+
+    # datatype constructors, mirrored from the MPI facade
+    def Type_contiguous(self, count, base):
+        return self._mpi.Type_contiguous(count, base)
+
+    def Type_vector(self, count, blocklength, stride, base):
+        return self._mpi.Type_vector(count, blocklength, stride, base)
+
+    def Type_indexed(self, blocklengths, displacements, base):
+        return self._mpi.Type_indexed(blocklengths, displacements, base)
+
+    def Type_create_struct(self, blocklengths, displacements, types):
+        return self._mpi.Type_create_struct(blocklengths, displacements, types)
+
+    # request completion, routed like the protocol wrapper routes them
+    def Wait(self, request):
+        return request.wait()
+
+    def Test(self, request):
+        return request.test()
+
+    def Waitall(self, requests):
+        return self._mpi.Waitall(requests)
+
+    def Waitany(self, requests):
+        return self._mpi.Waitany(requests)
+
+    def Waitsome(self, requests):
+        return self._mpi.Waitsome(requests)
+
+    def Testall(self, requests):
+        return self._mpi.Testall(requests)
+
+    def Testany(self, requests):
+        return self._mpi.Testany(requests)
+
+
+class Context:
+    """Everything an instrumented application touches at runtime."""
+
+    def __init__(self, mpi: MPI, comm=None,
+                 pragma_hook: Optional[Callable[..., None]] = None,
+                 heap: Optional[SimHeap] = None,
+                 registry: Optional[VariableRegistry] = None):
+        self.mpi = mpi
+        self.comm = comm if comm is not None else RawCommAdapter(mpi.COMM_WORLD, mpi)
+        self.state = AppState()
+        self.heap = heap or SimHeap(
+            static_segment_bytes=mpi._ctx.machine.static_segment_bytes)
+        self.registry = registry or VariableRegistry()
+        self.restored = False
+        self._pragma_hook = pragma_hook
+        self.pragma_count = 0
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- time accounting --------------------------------------------------------
+    def compute(self, seconds: float) -> None:
+        self.mpi.compute(seconds)
+
+    def work(self, flops: float) -> None:
+        self.mpi.work(flops)
+
+    def now(self) -> float:
+        return self.mpi.Wtime()
+
+    # -- the pragma ----------------------------------------------------------------
+    def checkpoint(self, force: bool = False) -> None:
+        """``#pragma ccc checkpoint``.
+
+        In an original run this is a no-op (the precompiler was not used);
+        under C3 the installed hook runs the Figure-5 pragma logic: check
+        control messages and start a checkpoint when forced, when the timer
+        expired, or when another process initiated one.
+        """
+        self.pragma_count += 1
+        if self._pragma_hook is not None:
+            self._pragma_hook(force=force)
+
+    # -- resumable control flow ------------------------------------------------------
+    def range(self, name: str, start: int, stop: Optional[int] = None,
+              step: int = 1) -> Iterator[int]:
+        """Resumable ``range``; the counter persists in ``ctx.state``."""
+        if stop is None:
+            start, stop = 0, start
+        if step <= 0:
+            raise StateError("ctx.range requires a positive step")
+        key = f"__loop_{name}"
+        i = int(self.state.get(key, start))
+        while i < stop:
+            self.state[key] = i
+            yield i
+            # Re-read: the body may have been restored to a different epoch.
+            i = int(self.state[key]) + step
+        self.state[key] = i
+
+    def first_time(self, name: str) -> bool:
+        """True until :meth:`done` is called for ``name`` (survives restart)."""
+        return not self.state.get(f"__done_{name}", False)
+
+    def done(self, name: str) -> None:
+        """Mark a one-time section complete."""
+        self.state[f"__done_{name}"] = True
+
+    def once(self, name: str, fn: Callable[[], Any]) -> None:
+        """Run ``fn`` once per job lifetime (skipped after restart)."""
+        if self.first_time(name):
+            fn()
+            self.done(name)
+
+    # -- sub-iteration phases ----------------------------------------------------
+    # A checkpoint pragma in the *middle* of a loop body resumes at the top
+    # of the interrupted iteration; phase guards skip the already-executed
+    # first part.  This is the Python analog of C3 resuming at a mid-loop
+    # pragma location.  Mixed placements across ranks are exactly what the
+    # coordination protocol's late/early machinery makes consistent.
+    def phase_pending(self, loop_name: str, phase_name: str) -> bool:
+        """Has this phase NOT yet run in the current iteration of the loop?"""
+        loop_key = f"__loop_{loop_name}"
+        if loop_key not in self.state:
+            raise StateError(f"phase guard outside ctx.range({loop_name!r})")
+        cur = int(self.state[loop_key])
+        marker = self.state.get(f"__phase_{loop_name}_{phase_name}", -1)
+        return int(marker) < cur
+
+    def phase_done(self, loop_name: str, phase_name: str) -> None:
+        """Mark the phase complete for the current iteration."""
+        cur = int(self.state[f"__loop_{loop_name}"])
+        self.state[f"__phase_{loop_name}_{phase_name}"] = cur
+
+    # -- checkpoint plumbing (used by the C3 layer) --------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "state": self.state.to_dict(),
+            "heap": self.heap.snapshot(),
+            "registry": self.registry.snapshot(),
+            "pragma_count": self.pragma_count,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self.state.replace_all(snap["state"])
+        self.heap = SimHeap.from_snapshot(snap["heap"])
+        self.registry.restore(snap["registry"])
+        self.pragma_count = snap["pragma_count"]
+        self.restored = True
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Application-state bytes a checkpoint would save (live data only)."""
+        return self.state.nbytes + self.heap.live_bytes

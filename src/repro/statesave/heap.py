@@ -1,0 +1,158 @@
+"""Simulated process heap / memory manager.
+
+C3 provides its own memory manager so that dynamically allocated objects
+can be restored to their original addresses after a restart (Section 5).
+This module reproduces that manager at the level of abstraction the
+reproduction needs:
+
+* ``malloc`` returns a stable *address* (an integer offset in a simulated
+  address space) and tracks the block's payload (a numpy array);
+* ``free`` releases the block, but — like a real allocator — the address
+  space high-water mark does not shrink, so a **system-level** checkpointer
+  (the Condor baseline) must save the whole extent, while C3 saves **live
+  data only**.  This live-vs-image distinction is exactly what Table 1
+  measures;
+* the manager itself can be checkpointed and restored: after a restore
+  every live block reappears at its original address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .serializer import SerializationError
+
+_ALIGN = 16
+
+
+class HeapError(Exception):
+    """Invalid heap operation (double free, unknown address, ...)."""
+
+
+class Block:
+    """One live allocation."""
+
+    __slots__ = ("address", "nbytes", "label", "data")
+
+    def __init__(self, address: int, nbytes: int, label: str, data: Optional[np.ndarray]):
+        self.address = address
+        self.nbytes = nbytes
+        self.label = label
+        self.data = data
+
+
+class SimHeap:
+    """Bump allocator with a free list and a high-water mark."""
+
+    def __init__(self, static_segment_bytes: int = 0, stack_bytes: int = 1 << 16):
+        #: text + globals; included in a system-level image, never in C3's
+        self.static_segment_bytes = static_segment_bytes
+        self.stack_bytes = stack_bytes
+        self._brk = 0
+        self._live: Dict[int, Block] = {}
+        self._free_list: Dict[int, int] = {}  # address -> size
+        self.alloc_count = 0
+        self.free_count = 0
+
+    # -- allocation -----------------------------------------------------------
+    def malloc(self, nbytes: int, label: str = "", data: Optional[np.ndarray] = None) -> int:
+        """Allocate ``nbytes``; returns the block's address."""
+        if nbytes < 0:
+            raise HeapError(f"negative allocation size {nbytes}")
+        size = max(_ALIGN, (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN)
+        address = None
+        # first-fit reuse of freed space (keeps the image bounded, like a
+        # real allocator reusing arena space)
+        for addr, free_size in sorted(self._free_list.items()):
+            if free_size >= size:
+                address = addr
+                if free_size > size:
+                    self._free_list[addr + size] = free_size - size
+                del self._free_list[addr]
+                break
+        if address is None:
+            address = self._brk
+            self._brk += size
+        self._live[address] = Block(address, nbytes, label, data)
+        self.alloc_count += 1
+        return address
+
+    def alloc_array(self, shape, dtype=np.float64, label: str = "") -> Tuple[int, np.ndarray]:
+        """Allocate and zero a numpy array on the heap; returns (address, array)."""
+        arr = np.zeros(shape, dtype=dtype)
+        addr = self.malloc(arr.nbytes, label=label, data=arr)
+        return addr, arr
+
+    def free(self, address: int) -> None:
+        """Release a block; freed space stays inside the process image."""
+        block = self._live.pop(address, None)
+        if block is None:
+            raise HeapError(f"free of unknown or already-freed address {address:#x}")
+        size = max(_ALIGN, (block.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN)
+        self._free_list[address] = size
+        self.free_count += 1
+
+    def block(self, address: int) -> Block:
+        """The live block at ``address`` (raises on freed/unknown)."""
+        try:
+            return self._live[address]
+        except KeyError:
+            raise HeapError(f"unknown address {address:#x}") from None
+
+    def live_blocks(self) -> Iterator[Block]:
+        """Live blocks in address order."""
+        return iter(sorted(self._live.values(), key=lambda b: b.address))
+
+    # -- accounting (what Table 1 is about) -------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        """Bytes of live (not freed) data — what C3 checkpoints from the heap."""
+        return sum(b.nbytes for b in self._live.values())
+
+    @property
+    def image_bytes(self) -> int:
+        """Whole process-image bytes — what a system-level checkpointer saves."""
+        return self.static_segment_bytes + self._brk + self.stack_bytes
+
+    # -- checkpoint / restore ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serializable description of the heap (live blocks + geometry)."""
+        blocks = []
+        for b in self.live_blocks():
+            # copy: the snapshot must not alias live block data
+            data = None if b.data is None else np.array(b.data, copy=True,
+                                                        order="C")
+            blocks.append({
+                "address": b.address,
+                "nbytes": b.nbytes,
+                "label": b.label,
+                "data": data,
+            })
+        return {
+            "static_segment_bytes": self.static_segment_bytes,
+            "stack_bytes": self.stack_bytes,
+            "brk": self._brk,
+            "free_list": dict(self._free_list),
+            "blocks": blocks,
+            "alloc_count": self.alloc_count,
+            "free_count": self.free_count,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "SimHeap":
+        """Rebuild the heap with every live block at its original address."""
+        try:
+            heap = cls(snap["static_segment_bytes"], snap["stack_bytes"])
+            heap._brk = snap["brk"]
+            heap._free_list = {int(k): int(v) for k, v in snap["free_list"].items()}
+            heap.alloc_count = snap["alloc_count"]
+            heap.free_count = snap["free_count"]
+            for b in snap["blocks"]:
+                heap._live[b["address"]] = Block(
+                    b["address"], b["nbytes"], b["label"], b["data"]
+                )
+            return heap
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"corrupt heap snapshot: {exc}") from exc

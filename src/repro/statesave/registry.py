@@ -1,0 +1,181 @@
+"""Runtime variable registry — the state-description the precompiler maintains.
+
+In C3, precompiler-inserted calls register every variable as it enters
+scope and unregister it as it leaves, "maintaining an up-to-date
+description of the process's state" (Section 5).  At checkpoint time the
+description is walked and each variable's bytes are written out; on
+restart the description is read back first and used to reconstruct the
+state.
+
+:class:`VariableRegistry` is that description.  Variables live in nested
+*scopes* (function activations); globals live in the root scope.  A
+variable is either a numpy array (saved by reference, restored in place so
+aliases stay valid — the analog of restoring data to its original address)
+or an immutable Python scalar (saved by value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .serializer import SerializationError
+
+
+class RegistryError(Exception):
+    """Invalid registry operation (duplicate name, unknown scope, ...)."""
+
+
+@dataclass
+class VariableDescriptor:
+    """What the checkpoint stores about one variable."""
+
+    name: str
+    kind: str           # "array" | "scalar"
+    dtype: Optional[str]
+    shape: Optional[tuple]
+    nbytes: int
+
+
+class Scope:
+    """One activation record's worth of registered variables."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.vars: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scope {self.name}: {list(self.vars)}>"
+
+
+class VariableRegistry:
+    """Nested-scope variable set with snapshot/restore."""
+
+    def __init__(self):
+        self._scopes: List[Scope] = [Scope("<globals>")]
+
+    # -- scope tracking (precompiler-inserted calls) --------------------------
+    def enter_scope(self, name: str) -> None:
+        """A function activation begins (inserted at function entry)."""
+        self._scopes.append(Scope(name))
+
+    def leave_scope(self) -> None:
+        """A function activation ends (inserted at function exit)."""
+        if len(self._scopes) == 1:
+            raise RegistryError("cannot leave the global scope")
+        self._scopes.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._scopes)
+
+    @property
+    def current_scope(self) -> Scope:
+        return self._scopes[-1]
+
+    # -- registration ------------------------------------------------------------
+    def register(self, name: str, value: Any) -> Any:
+        """A variable enters scope.  Returns the value for assignment chaining."""
+        scope = self._scopes[-1]
+        if name in scope.vars:
+            raise RegistryError(f"variable {name!r} already registered in scope "
+                                f"{scope.name!r}")
+        scope.vars[name] = value
+        return value
+
+    def unregister(self, name: str) -> None:
+        """A variable leaves scope."""
+        scope = self._scopes[-1]
+        if name not in scope.vars:
+            raise RegistryError(f"variable {name!r} not registered in scope "
+                                f"{scope.name!r}")
+        del scope.vars[name]
+
+    def update(self, name: str, value: Any) -> Any:
+        """Re-bind a registered scalar (arrays are mutated in place instead)."""
+        for scope in reversed(self._scopes):
+            if name in scope.vars:
+                scope.vars[name] = value
+                return value
+        raise RegistryError(f"variable {name!r} not registered in any scope")
+
+    def lookup(self, name: str) -> Any:
+        for scope in reversed(self._scopes):
+            if name in scope.vars:
+                return scope.vars[name]
+        raise RegistryError(f"variable {name!r} not registered in any scope")
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in s.vars for s in self._scopes)
+
+    # -- accounting -----------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        """Bytes the registry would write at a checkpoint."""
+        total = 0
+        for scope in self._scopes:
+            for v in scope.vars.values():
+                total += v.nbytes if isinstance(v, np.ndarray) else 16
+        return total
+
+    def descriptors(self) -> List[VariableDescriptor]:
+        out = []
+        for scope in self._scopes:
+            for name, v in scope.vars.items():
+                if isinstance(v, np.ndarray):
+                    out.append(VariableDescriptor(
+                        f"{scope.name}:{name}", "array", v.dtype.str,
+                        tuple(v.shape), v.nbytes))
+                else:
+                    out.append(VariableDescriptor(
+                        f"{scope.name}:{name}", "scalar", None, None, 16))
+        return out
+
+    # -- snapshot / restore -------------------------------------------------------------
+    def snapshot(self) -> dict:
+        scopes = []
+        for scope in self._scopes:
+            vars_snap: Dict[str, Any] = {}
+            for name, v in scope.vars.items():
+                if isinstance(v, np.ndarray):
+                    # copy: the snapshot must not alias the live array
+                    vars_snap[name] = np.array(v, copy=True, order="C")
+                else:
+                    vars_snap[name] = v
+            scopes.append({"name": scope.name, "vars": vars_snap})
+        return {"scopes": scopes}
+
+    def restore(self, snap: dict) -> None:
+        """Restore variable values **in place** where possible.
+
+        The scope structure of the snapshot must match the current registry
+        (the restarted program re-enters the same activations before the
+        registry is restored); array variables are written element-wise so
+        existing references remain valid.
+        """
+        try:
+            snap_scopes = snap["scopes"]
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"corrupt registry snapshot: {exc}") from exc
+        if len(snap_scopes) != len(self._scopes):
+            raise RegistryError(
+                f"scope depth mismatch: checkpoint has {len(snap_scopes)}, "
+                f"registry has {len(self._scopes)}"
+            )
+        for scope, s_snap in zip(self._scopes, snap_scopes):
+            if scope.name != s_snap["name"]:
+                raise RegistryError(
+                    f"scope name mismatch: {scope.name!r} vs {s_snap['name']!r}"
+                )
+            for name, value in s_snap["vars"].items():
+                if name in scope.vars and isinstance(scope.vars[name], np.ndarray):
+                    live = scope.vars[name]
+                    if not isinstance(value, np.ndarray) or live.shape != value.shape:
+                        raise RegistryError(
+                            f"shape mismatch restoring {name!r} in {scope.name!r}"
+                        )
+                    live[...] = value
+                else:
+                    scope.vars[name] = value

@@ -1,0 +1,237 @@
+"""Checkpoint serialization.
+
+Two formats, mirroring Section 5 of the paper:
+
+* **binary** (default) — values are dumped as raw bytes with minimal framing,
+  "irrespective of the data's type", favouring efficiency and transparency
+  over portability, exactly like C3's design philosophy;
+* **portable** — every value is tagged with its type and numeric data is
+  canonicalized to little-endian, so a checkpoint taken on one platform can
+  be restored on another (the paper's grid-environment extension).
+
+The serializer is self-contained (no pickle): it supports ``None``, bools,
+ints, floats, complex, str, bytes, lists, tuples, dicts with str/int/tuple
+keys, and numpy arrays.  That covers everything the runtime checkpoints:
+application state, protocol registries (which hold message payload bytes),
+counters, and handle tables.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+MAGIC_BINARY = b"C3BN"
+MAGIC_PORTABLE = b"C3PT"
+FORMAT_VERSION = 1
+
+# type tags
+_T_NONE = 0
+_T_BOOL = 1
+_T_INT = 2
+_T_FLOAT = 3
+_T_COMPLEX = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_LIST = 7
+_T_TUPLE = 8
+_T_DICT = 9
+_T_NDARRAY = 10
+
+
+class SerializationError(Exception):
+    """A value cannot be checkpointed or a payload is corrupt."""
+
+
+def _pack_varint(n: int) -> bytes:
+    """Signed integer, zig-zag + LEB128.
+
+    Python integers are arbitrary precision, and so is LEB128 — no
+    special big-number escape is needed (an escape byte would collide
+    with legal continuation bytes).
+    """
+    z = 2 * n if n >= 0 else -2 * n - 1  # zig-zag, any magnitude
+    out = bytearray()
+    while True:
+        b = z & 0x7F
+        z >>= 7
+        if z:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            break
+    return bytes(out)
+
+
+def _unpack_varint(buf: bytes, pos: int) -> Tuple[int, int]:
+    shift = 0
+    z = 0
+    while True:
+        b = buf[pos]
+        pos += 1
+        z |= (b & 0x7F) << shift
+        if not b & 0x80:
+            break
+        shift += 7
+    return (z >> 1) if z % 2 == 0 else -((z + 1) >> 1), pos
+
+
+class Serializer:
+    """Encode/decode checkpoint values in one of the two formats."""
+
+    def __init__(self, portable: bool = False):
+        self.portable = portable
+
+    # -- public API ----------------------------------------------------------
+    def dumps(self, value: Any) -> bytes:
+        out = bytearray()
+        out += MAGIC_PORTABLE if self.portable else MAGIC_BINARY
+        out += struct.pack("<H", FORMAT_VERSION)
+        self._encode(value, out)
+        return bytes(out)
+
+    def loads(self, payload: bytes) -> Any:
+        if len(payload) < 6:
+            raise SerializationError("payload too short for header")
+        magic = payload[:4]
+        if magic not in (MAGIC_BINARY, MAGIC_PORTABLE):
+            raise SerializationError(f"bad magic {magic!r}")
+        (version,) = struct.unpack_from("<H", payload, 4)
+        if version != FORMAT_VERSION:
+            raise SerializationError(f"unsupported format version {version}")
+        portable = magic == MAGIC_PORTABLE
+        value, pos = self._decode(payload, 6, portable)
+        if pos != len(payload):
+            raise SerializationError(f"{len(payload) - pos} trailing bytes")
+        return value
+
+    # -- encoding --------------------------------------------------------------
+    def _encode(self, v: Any, out: bytearray) -> None:
+        if v is None:
+            out.append(_T_NONE)
+        elif isinstance(v, (bool, np.bool_)):
+            out.append(_T_BOOL)
+            out.append(1 if v else 0)
+        elif isinstance(v, (int, np.integer)):
+            out.append(_T_INT)
+            out += _pack_varint(int(v))
+        elif isinstance(v, (float, np.floating)):
+            out.append(_T_FLOAT)
+            out += struct.pack("<d", float(v))
+        elif isinstance(v, (complex, np.complexfloating)):
+            out.append(_T_COMPLEX)
+            out += struct.pack("<dd", v.real, v.imag)
+        elif isinstance(v, str):
+            raw = v.encode("utf-8")
+            out.append(_T_STR)
+            out += _pack_varint(len(raw))
+            out += raw
+        elif isinstance(v, (bytes, bytearray, memoryview)):
+            raw = bytes(v)
+            out.append(_T_BYTES)
+            out += _pack_varint(len(raw))
+            out += raw
+        elif isinstance(v, list):
+            out.append(_T_LIST)
+            out += _pack_varint(len(v))
+            for item in v:
+                self._encode(item, out)
+        elif isinstance(v, tuple):
+            out.append(_T_TUPLE)
+            out += _pack_varint(len(v))
+            for item in v:
+                self._encode(item, out)
+        elif isinstance(v, dict):
+            out.append(_T_DICT)
+            out += _pack_varint(len(v))
+            for k, item in v.items():
+                self._encode(k, out)
+                self._encode(item, out)
+        elif isinstance(v, np.ndarray):
+            self._encode_ndarray(v, out)
+        else:
+            raise SerializationError(
+                f"cannot checkpoint value of type {type(v).__name__}"
+            )
+
+    def _encode_ndarray(self, a: np.ndarray, out: bytearray) -> None:
+        if a.dtype.hasobject:
+            raise SerializationError("object-dtype arrays cannot be checkpointed")
+        arr = np.ascontiguousarray(a)
+        if self.portable and arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        out.append(_T_NDARRAY)
+        dtype_str = arr.dtype.str  # includes byte order: portable restore works
+        self._encode(dtype_str, out)
+        out += _pack_varint(arr.ndim)
+        for s in arr.shape:
+            out += _pack_varint(s)
+        raw = arr.tobytes()
+        out += _pack_varint(len(raw))
+        out += raw
+
+    # -- decoding -----------------------------------------------------------------
+    def _decode(self, buf: bytes, pos: int, portable: bool) -> Tuple[Any, int]:
+        tag = buf[pos]
+        pos += 1
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_BOOL:
+            return bool(buf[pos]), pos + 1
+        if tag == _T_INT:
+            return _unpack_varint(buf, pos)
+        if tag == _T_FLOAT:
+            (x,) = struct.unpack_from("<d", buf, pos)
+            return x, pos + 8
+        if tag == _T_COMPLEX:
+            re, im = struct.unpack_from("<dd", buf, pos)
+            return complex(re, im), pos + 16
+        if tag == _T_STR:
+            n, pos = _unpack_varint(buf, pos)
+            return buf[pos:pos + n].decode("utf-8"), pos + n
+        if tag == _T_BYTES:
+            n, pos = _unpack_varint(buf, pos)
+            return bytes(buf[pos:pos + n]), pos + n
+        if tag == _T_LIST or tag == _T_TUPLE:
+            n, pos = _unpack_varint(buf, pos)
+            items = []
+            for _ in range(n):
+                item, pos = self._decode(buf, pos, portable)
+                items.append(item)
+            return (tuple(items) if tag == _T_TUPLE else items), pos
+        if tag == _T_DICT:
+            n, pos = _unpack_varint(buf, pos)
+            d: Dict[Any, Any] = {}
+            for _ in range(n):
+                k, pos = self._decode(buf, pos, portable)
+                v, pos = self._decode(buf, pos, portable)
+                d[k] = v
+            return d, pos
+        if tag == _T_NDARRAY:
+            dtype_str, pos = self._decode(buf, pos, portable)
+            ndim, pos = _unpack_varint(buf, pos)
+            shape = []
+            for _ in range(ndim):
+                s, pos = _unpack_varint(buf, pos)
+                shape.append(s)
+            nbytes, pos = _unpack_varint(buf, pos)
+            arr = np.frombuffer(buf[pos:pos + nbytes], dtype=np.dtype(dtype_str))
+            return arr.reshape(shape).copy(), pos + nbytes
+        raise SerializationError(f"unknown type tag {tag} at offset {pos - 1}")
+
+
+#: module-level conveniences
+_BINARY = Serializer(portable=False)
+_PORTABLE = Serializer(portable=True)
+
+
+def dumps(value: Any, portable: bool = False) -> bytes:
+    """Serialize a checkpoint value to bytes (module-level convenience)."""
+    return (_PORTABLE if portable else _BINARY).dumps(value)
+
+
+def loads(payload: bytes) -> Any:
+    """Deserialize a checkpoint payload (either format)."""
+    return _BINARY.loads(payload)

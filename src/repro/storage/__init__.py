@@ -1,0 +1,15 @@
+"""Stable-storage substrate: backends, commit manifest, drain daemon."""
+
+from .drain import DrainDaemon, DrainReport
+from .manifest import (
+    checkpoint_bytes, commit_path, committed_versions, last_committed_global,
+    last_committed_local, record_commit, section_path,
+)
+from .stable import DiskStorage, InMemoryStorage, StorageBackend, StorageError
+
+__all__ = [
+    "StorageBackend", "InMemoryStorage", "DiskStorage", "StorageError",
+    "record_commit", "committed_versions", "last_committed_local",
+    "last_committed_global", "checkpoint_bytes", "section_path", "commit_path",
+    "DrainDaemon", "DrainReport",
+]

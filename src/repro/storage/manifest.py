@@ -1,0 +1,78 @@
+"""Checkpoint commit manifest.
+
+Layout inside a storage backend::
+
+    ckpt/v{version}/rank{r}/{section}     checkpoint payload sections
+    ckpt/v{version}/rank{r}/COMMIT        per-rank commit marker
+
+A recovery line is usable only if **every** rank committed it.  Each rank
+can answer "what is the last version I committed?" locally; the global
+answer is the minimum over ranks, computed during recovery with an
+all-reduce — exactly the "global reduction to find last checkpoint
+committed on all nodes" step of ``chkpt_RestoreCheckpoint`` (Figure 5).
+This module provides the local queries plus a harness-side global check.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .stable import StorageBackend
+
+_VERSION_RE = re.compile(r"^ckpt/v(\d+)/rank(\d+)/COMMIT$")
+
+
+def section_path(version: int, rank: int, section: str) -> str:
+    return f"ckpt/v{version}/rank{rank}/{section}"
+
+
+def commit_path(version: int, rank: int) -> str:
+    return f"ckpt/v{version}/rank{rank}/COMMIT"
+
+
+def record_commit(storage: StorageBackend, version: int, rank: int) -> None:
+    """Atomically mark ``version`` committed by ``rank``."""
+    storage.write(commit_path(version, rank), b"ok")
+
+
+def committed_versions(storage: StorageBackend, rank: int) -> List[int]:
+    """All versions this rank has committed, ascending."""
+    versions = []
+    for path in storage.list("ckpt/"):
+        m = _VERSION_RE.match(path)
+        if m and int(m.group(2)) == rank:
+            versions.append(int(m.group(1)))
+    return sorted(versions)
+
+
+def last_committed_local(storage: StorageBackend, rank: int) -> Optional[int]:
+    """The last version this rank committed, or None."""
+    versions = committed_versions(storage, rank)
+    return versions[-1] if versions else None
+
+
+def last_committed_global(storage: StorageBackend, nprocs: int) -> Optional[int]:
+    """Last version committed by *all* ranks (harness-side check)."""
+    candidate: Optional[int] = None
+    for rank in range(nprocs):
+        local = last_committed_local(storage, rank)
+        if local is None:
+            return None
+        candidate = local if candidate is None else min(candidate, local)
+    # The minimum of per-rank maxima is committed everywhere because each rank
+    # commits versions in order; verify defensively anyway.
+    for rank in range(nprocs):
+        if candidate not in committed_versions(storage, rank):
+            return None
+    return candidate
+
+
+def checkpoint_bytes(storage: StorageBackend, version: int, rank: int) -> int:
+    """Total payload bytes of one rank's checkpoint (excluding the marker)."""
+    total = 0
+    prefix = f"ckpt/v{version}/rank{rank}/"
+    for path in storage.list(prefix):
+        if not path.endswith("/COMMIT"):
+            total += len(storage.read(path))
+    return total

@@ -1,0 +1,141 @@
+"""Stable-storage backends.
+
+A checkpoint is only useful if it survives the failure, so the runtime
+writes through a :class:`StorageBackend`.  Two implementations:
+
+* :class:`InMemoryStorage` — a thread-safe dict.  It deliberately survives
+  engine teardown (the harness keeps it across the failed run and the
+  restarted run), playing the role of the node-local disk.  Fast enough
+  for tests and benches.
+* :class:`DiskStorage` — real files under a root directory, with atomic
+  writes (temp file + rename), for the examples and durability tests.
+
+Backends are pure byte stores; *time* for I/O is charged by the caller
+from the machine model (``disk_write_time``), so configuration #2 of
+Tables 4–5 (go through the motions, skip the write) is expressible.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List
+
+
+class StorageError(Exception):
+    """Missing object / invalid path in a storage backend."""
+
+
+class StorageBackend:
+    """Abstract byte store keyed by slash-separated paths."""
+
+    def write(self, path: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def read(self, path: str) -> bytes:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def delete(self, path: str) -> None:
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> List[str]:
+        """All paths starting with ``prefix``, sorted."""
+        raise NotImplementedError
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(len(self.read(p)) for p in self.list(prefix))
+
+
+class InMemoryStorage(StorageBackend):
+    """Thread-safe in-memory byte store (the simulated node-local disk)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data: Dict[str, bytes] = {}
+        self.write_count = 0
+        self.written_bytes = 0
+
+    def write(self, path: str, data: bytes) -> None:
+        with self._lock:
+            self._data[path] = bytes(data)
+            self.write_count += 1
+            self.written_bytes += len(data)
+
+    def read(self, path: str) -> bytes:
+        with self._lock:
+            try:
+                return self._data[path]
+            except KeyError:
+                raise StorageError(f"no stored object at {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._data
+
+    def delete(self, path: str) -> None:
+        with self._lock:
+            if path not in self._data:
+                raise StorageError(f"no stored object at {path!r}")
+            del self._data[path]
+
+    def list(self, prefix: str = "") -> List[str]:
+        with self._lock:
+            return sorted(p for p in self._data if p.startswith(prefix))
+
+
+class DiskStorage(StorageBackend):
+    """File-backed store with atomic writes."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _fs_path(self, path: str) -> str:
+        norm = os.path.normpath(path)
+        if norm.startswith("..") or os.path.isabs(norm):
+            raise StorageError(f"path escapes storage root: {path!r}")
+        return os.path.join(self.root, norm)
+
+    def write(self, path: str, data: bytes) -> None:
+        fs = self._fs_path(path)
+        os.makedirs(os.path.dirname(fs), exist_ok=True)
+        tmp = fs + ".tmp"
+        with self._lock:
+            with open(tmp, "wb") as f:
+                f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, fs)
+
+    def read(self, path: str) -> bytes:
+        fs = self._fs_path(path)
+        try:
+            with open(fs, "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            raise StorageError(f"no stored object at {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(self._fs_path(path))
+
+    def delete(self, path: str) -> None:
+        try:
+            os.remove(self._fs_path(path))
+        except FileNotFoundError:
+            raise StorageError(f"no stored object at {path!r}") from None
+
+    def list(self, prefix: str = "") -> List[str]:
+        out = []
+        for dirpath, _dirs, files in os.walk(self.root):
+            for fname in files:
+                if fname.endswith(".tmp"):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, fname), self.root)
+                rel = rel.replace(os.sep, "/")
+                if rel.startswith(prefix):
+                    out.append(rel)
+        return sorted(out)

@@ -1,0 +1,18 @@
+"""Helpers shared by the test-suite (and usable by downstream tests).
+
+``run`` executes a job on the TESTING machine model and raises on any
+application error, so protocol/test failures surface as tracebacks
+instead of silent None returns.
+"""
+
+from __future__ import annotations
+
+from .mpi import TESTING, run_job
+
+
+def run(nprocs, main, **kw):
+    """Run a job; fail loudly on any rank error; return the JobResult."""
+    result = run_job(nprocs, main, machine=kw.pop("machine", TESTING),
+                     wall_timeout=kw.pop("wall_timeout", 60.0), **kw)
+    result.raise_errors()
+    return result

@@ -1,0 +1,57 @@
+"""Condor SLC baseline: image accounting and whole-image restore."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.condor import CondorCheckpointer, ImageSizes, measure_sizes
+from repro.statesave.context import Context
+from repro.storage import InMemoryStorage
+from repro.testutil import run
+
+
+def make_ctx():
+    holder = {}
+
+    def main(mpi):
+        holder["ctx"] = Context(mpi)
+        return True
+
+    run(1, main)
+    return holder["ctx"]
+
+
+def test_condor_image_larger_than_c3():
+    ctx = make_ctx()
+    ctx.state.data = np.zeros(10_000)
+    addr = ctx.heap.malloc(50_000)
+    ctx.heap.free(addr)  # freed space stays in the image
+    sizes = measure_sizes(ctx)
+    assert sizes.condor_bytes > sizes.c3_bytes
+    assert 0 < sizes.reduction < 1
+
+
+def test_freed_heap_counted_only_by_condor():
+    ctx = make_ctx()
+    base = measure_sizes(ctx)
+    addr = ctx.heap.malloc(100_000)
+    ctx.heap.free(addr)
+    after = measure_sizes(ctx)
+    assert after.condor_bytes > base.condor_bytes
+    assert after.c3_bytes == base.c3_bytes
+
+
+def test_snapshot_restore_roundtrip():
+    ctx = make_ctx()
+    ctx.state.x = np.arange(16.0)
+    storage = InMemoryStorage()
+    ckpt = CondorCheckpointer(storage)
+    n = ckpt.snapshot(ctx)
+    assert n > 0
+    ctx.state.x[:] = 0
+    ckpt.restore(ctx)
+    assert np.array_equal(ctx.state.x, np.arange(16.0))
+    assert ctx.restored
+
+
+def test_reduction_zero_for_empty_image():
+    assert ImageSizes(0, 0).reduction == 0.0

@@ -1,0 +1,22 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import TESTING, run_job
+
+
+def run(nprocs, main, **kw):
+    """Run a job and fail the test on any rank error."""
+    result = run_job(nprocs, main, machine=kw.pop("machine", TESTING),
+                     wall_timeout=kw.pop("wall_timeout", 60.0), **kw)
+    result.raise_errors()
+    return result
+
+
+@pytest.fixture
+def storage():
+    from repro.storage import InMemoryStorage
+    return InMemoryStorage()

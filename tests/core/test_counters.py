@@ -1,0 +1,106 @@
+"""Sent/received counter bookkeeping (Figure 5 "Prepare counters")."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import CounterSet
+from repro.core.modes import ProtocolError
+
+
+def test_send_and_receive_counting():
+    c = CounterSet(3, rank=0)
+    c.on_send(1)
+    c.on_send(1)
+    c.on_intra_received(2)
+    assert c.sent_count == [0, 2, 0]
+    assert c.received_count == [0, 0, 1]
+
+
+def test_start_checkpoint_shuffle():
+    c = CounterSet(3, rank=0)
+    c.on_send(1)
+    c.on_intra_received(1)
+    c.on_intra_received(2)
+    c.on_early_received(2)
+    announced = c.on_start_checkpoint()
+    assert announced == [0, 1, 0]
+    # intra receipts become the late baseline
+    assert c.late_received == [0, 1, 1]
+    # early receipts become the new epoch's intra baseline
+    assert c.received_count == [0, 0, 1]
+    assert c.early_received == [0, 0, 0]
+    assert c.sent_count == [0, 0, 0]
+
+
+def test_late_drained_needs_all_announcements():
+    c = CounterSet(3, rank=0)
+    c.on_start_checkpoint()
+    assert not c.late_drained()      # nothing announced yet
+    c.on_control_received(1, 0)
+    assert not c.late_drained()      # rank 2 still silent
+    c.on_control_received(2, 0)
+    assert c.late_drained()
+
+
+def test_late_drained_counts_against_announcements():
+    c = CounterSet(2, rank=0)
+    c.on_intra_received(1)           # received before my checkpoint
+    c.on_start_checkpoint()
+    c.on_control_received(1, 3)      # peer sent 3 messages in the old epoch
+    assert not c.late_drained()
+    c.on_late_received(1)
+    c.on_late_received(1)
+    assert c.late_drained()          # 1 (baseline) + 2 (late) == 3
+
+
+def test_too_many_late_messages_is_an_error():
+    c = CounterSet(2, rank=0)
+    c.on_start_checkpoint()
+    c.on_control_received(1, 1)
+    c.on_late_received(1)
+    with pytest.raises(ProtocolError):
+        c.on_late_received(1)
+
+
+def test_duplicate_announcement_rejected():
+    c = CounterSet(2, rank=0)
+    c.on_start_checkpoint()
+    c.on_control_received(1, 0)
+    with pytest.raises(ProtocolError):
+        c.on_control_received(1, 0)
+
+
+def test_single_process_always_drained():
+    c = CounterSet(1, rank=0)
+    c.on_start_checkpoint()
+    assert c.late_drained()
+    assert not c.late_expected()
+
+
+def test_wire_roundtrip():
+    c = CounterSet(2, rank=0)
+    c.on_send(1)
+    c.on_early_received(1)
+    c.on_start_checkpoint()
+    wire = c.to_wire()
+    c2 = CounterSet(2, rank=0)
+    c2.restore_wire(wire)
+    assert c2.received_count == c.received_count
+    assert c2.sent_count == c.sent_count
+    assert c2.expected_late == [None, None]
+
+
+@given(sent=st.lists(st.integers(0, 5), min_size=2, max_size=2),
+       pre=st.integers(0, 5), post=st.integers(0, 5))
+def test_conservation_property(sent, pre, post):
+    """Property: late accounting balances iff baseline + late receipts
+    equals the announced total (message conservation across the line)."""
+    total = pre + post
+    c = CounterSet(2, rank=0)
+    for _ in range(pre):
+        c.on_intra_received(1)
+    c.on_start_checkpoint()
+    c.on_control_received(1, total)
+    for _ in range(post):
+        c.on_late_received(1)
+    assert c.late_drained()

@@ -1,0 +1,83 @@
+"""Epoch colors, message classification (Figure 2), piggyback codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.epoch import (
+    CODECS, EARLY, FullCodec, INTRA, LATE, ThreeBitCodec, classify,
+)
+from repro.core.modes import ProtocolError
+
+
+class TestClassify:
+    def test_definition_1(self):
+        assert classify(0, 1) == LATE      # sender epoch < receiver epoch
+        assert classify(1, 1) == INTRA
+        assert classify(2, 1) == EARLY     # sender epoch > receiver epoch
+
+    def test_more_than_one_line_is_a_protocol_violation(self):
+        with pytest.raises(ProtocolError):
+            classify(0, 2)
+        with pytest.raises(ProtocolError):
+            classify(5, 3)
+
+
+class TestThreeBitCodec:
+    def test_wire_size_is_one_byte(self):
+        assert ThreeBitCodec.nbytes == 1
+
+    def test_encode_fits_in_three_bits(self):
+        c = ThreeBitCodec()
+        for epoch in range(10):
+            for stopped in (False, True):
+                assert 0 <= c.encode(epoch, stopped) < 8
+
+    @pytest.mark.parametrize("receiver", range(8))
+    @pytest.mark.parametrize("delta", [-1, 0, 1])
+    def test_roundtrip_within_one_line(self, receiver, delta):
+        sender = receiver + delta
+        if sender < 0:
+            pytest.skip("no epoch -1")
+        c = ThreeBitCodec()
+        pb = c.decode(c.encode(sender, True), receiver)
+        assert pb.sender_epoch == sender
+        assert pb.stopped_logging
+
+    def test_logging_bit(self):
+        c = ThreeBitCodec()
+        assert not c.decode(c.encode(3, False), 3).stopped_logging
+        assert c.decode(c.encode(3, True), 3).stopped_logging
+
+
+class TestFullCodec:
+    def test_roundtrip(self):
+        c = FullCodec()
+        pb = c.decode(c.encode(41, False), 42)
+        assert pb.sender_epoch == 41
+        assert not pb.stopped_logging
+
+    def test_detects_multi_line_crossing(self):
+        c = FullCodec()
+        with pytest.raises(ProtocolError):
+            c.decode(c.encode(10, True), 3)
+
+    def test_wire_size_larger_than_three_bit(self):
+        assert FullCodec.nbytes > ThreeBitCodec.nbytes
+
+
+def test_codec_registry():
+    assert set(CODECS) == {"3bit", "full"}
+
+
+@given(receiver=st.integers(0, 1000), delta=st.integers(-1, 1),
+       stopped=st.booleans())
+def test_three_bit_codec_roundtrip_property(receiver, delta, stopped):
+    """Property: the 2-bit color uniquely identifies the sender epoch
+    whenever |sender - receiver| <= 1 (the paper's Section 3.2 argument)."""
+    sender = receiver + delta
+    if sender < 0:
+        return
+    c = ThreeBitCodec()
+    pb = c.decode(c.encode(sender, stopped), receiver)
+    assert pb.sender_epoch == sender
+    assert pb.stopped_logging == stopped

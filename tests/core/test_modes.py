@@ -1,0 +1,85 @@
+"""Figure 3 state machine."""
+
+import pytest
+
+from repro.core.modes import Mode, ModeTracker, ProtocolError
+
+
+class TestTransitions:
+    def test_initial_mode(self):
+        assert ModeTracker().mode is Mode.RUN
+
+    def test_full_cycle(self):
+        t = ModeTracker()
+        t.start_checkpoint(all_started=False, late_expected=True)
+        assert t.mode is Mode.NONDET_LOG
+        t.stop_nondet_logging(late_expected=True)
+        assert t.mode is Mode.RECVONLY_LOG
+        t.commit()
+        assert t.mode is Mode.RUN
+
+    def test_start_with_all_started_skips_nondet(self):
+        t = ModeTracker()
+        t.start_checkpoint(all_started=True, late_expected=True)
+        assert t.mode is Mode.RECVONLY_LOG
+
+    def test_start_with_nothing_to_log_returns_to_run(self):
+        t = ModeTracker()
+        t.start_checkpoint(all_started=True, late_expected=False)
+        assert t.mode is Mode.RUN
+
+    def test_stop_nondet_with_no_late_goes_to_run(self):
+        t = ModeTracker()
+        t.start_checkpoint(all_started=False, late_expected=True)
+        t.stop_nondet_logging(late_expected=False)
+        assert t.mode is Mode.RUN
+
+    def test_restore_cycle(self):
+        t = ModeTracker(Mode.RESTORE)
+        t.finish_restore()
+        assert t.mode is Mode.RUN
+
+    def test_history_records_path(self):
+        t = ModeTracker()
+        t.start_checkpoint(all_started=False, late_expected=True)
+        t.stop_nondet_logging(late_expected=True)
+        t.commit()
+        assert t.history == [Mode.RUN, Mode.NONDET_LOG, Mode.RECVONLY_LOG,
+                             Mode.RUN]
+
+
+class TestIllegalTransitions:
+    def test_checkpoint_outside_run(self):
+        t = ModeTracker(Mode.RESTORE)
+        with pytest.raises(ProtocolError):
+            t.start_checkpoint(all_started=False, late_expected=True)
+
+    def test_commit_outside_recvonly(self):
+        with pytest.raises(ProtocolError):
+            ModeTracker().commit()
+
+    def test_stop_nondet_outside_nondet(self):
+        with pytest.raises(ProtocolError):
+            ModeTracker().stop_nondet_logging(late_expected=True)
+
+    def test_finish_restore_outside_restore(self):
+        with pytest.raises(ProtocolError):
+            ModeTracker().finish_restore()
+
+    def test_raw_transition_validation(self):
+        t = ModeTracker()
+        with pytest.raises(ProtocolError):
+            t.transition(Mode.RESTORE)
+
+
+class TestPredicates:
+    def test_logging_predicates(self):
+        t = ModeTracker()
+        assert not t.is_logging_nondet
+        assert not t.is_logging_late
+        t.start_checkpoint(all_started=False, late_expected=True)
+        assert t.is_logging_nondet
+        assert t.is_logging_late
+        t.stop_nondet_logging(late_expected=True)
+        assert not t.is_logging_nondet
+        assert t.is_logging_late

@@ -1,0 +1,171 @@
+"""Message registries and the event log."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.modes import ProtocolError
+from repro.core.registries import (
+    DATA, EarlyMessageRegistry, EventLog, LateMessageRegistry, WILDCARD,
+    WasEarlyRegistry,
+)
+from repro.mpi.matching import ANY_SOURCE, ANY_TAG
+
+
+class TestLateRegistry:
+    def test_record_and_match_exact(self):
+        reg = LateMessageRegistry()
+        reg.record_late(1, 2, 0, b"hello", rid=7)
+        m = reg.match(1, 2, 0)
+        assert m is not None and m.kind == DATA and m.payload == b"hello"
+
+    def test_match_respects_wildcards(self):
+        reg = LateMessageRegistry()
+        reg.record_late(3, 9, 0, b"x")
+        assert reg.match(ANY_SOURCE, 9, 0) is not None
+        assert reg.match(3, ANY_TAG, 0) is not None
+        assert reg.match(ANY_SOURCE, ANY_TAG, 0) is not None
+        assert reg.match(ANY_SOURCE, ANY_TAG, 1) is None  # other context
+
+    def test_match_rid(self):
+        reg = LateMessageRegistry()
+        reg.record_late(1, 1, 0, b"a", rid=10)
+        reg.record_late(1, 1, 0, b"b", rid=11)
+        assert reg.match_rid(11).payload == b"b"
+        assert reg.match_rid(99) is None
+
+    def test_order_preserved_per_signature(self):
+        reg = LateMessageRegistry()
+        reg.record_late(1, 1, 0, b"first")
+        reg.record_late(1, 1, 0, b"second")
+        m = reg.match(1, 1, 0)
+        assert m.payload == b"first"
+        reg.pop(m)
+        assert reg.match(1, 1, 0).payload == b"second"
+
+    def test_pop_twice_raises(self):
+        reg = LateMessageRegistry()
+        reg.record_late(1, 1, 0, b"x")
+        m = reg.match(1, 1, 0)
+        reg.pop(m)
+        with pytest.raises(ProtocolError):
+            reg.pop(m)
+
+    def test_wildcard_entries(self):
+        reg = LateMessageRegistry()
+        reg.record_wildcard(2, 5, 0, rid=3)
+        m = reg.match(ANY_SOURCE, ANY_TAG, 0)
+        assert m.kind == WILDCARD and m.payload is None
+
+    def test_wire_roundtrip(self):
+        reg = LateMessageRegistry()
+        reg.record_late(1, 2, 3, b"data", rid=4)
+        reg.record_wildcard(5, 6, 7, rid=8)
+        back = LateMessageRegistry.from_wire(reg.to_wire())
+        assert len(back) == 2
+        assert back.match_rid(4).payload == b"data"
+        assert back.match_rid(8).kind == WILDCARD
+
+    def test_data_bytes(self):
+        reg = LateMessageRegistry()
+        reg.record_late(0, 0, 0, b"12345")
+        reg.record_wildcard(0, 0, 0)
+        assert reg.data_bytes == 5
+
+
+class TestEarlyRegistry:
+    def test_multiset_semantics(self):
+        reg = EarlyMessageRegistry()
+        reg.record(1, 2, 0)
+        reg.record(1, 2, 0)
+        assert len(reg) == 2
+
+    def test_by_sender(self):
+        reg = EarlyMessageRegistry()
+        reg.record(1, 2, 0)
+        reg.record(3, 4, 0)
+        reg.record(1, 5, 0)
+        grouped = reg.by_sender()
+        assert grouped[1] == [(2, 0), (5, 0)]
+        assert grouped[3] == [(4, 0)]
+
+    def test_wire_roundtrip(self):
+        reg = EarlyMessageRegistry()
+        reg.record(1, 2, 3)
+        back = EarlyMessageRegistry.from_wire(reg.to_wire())
+        assert back.by_sender() == {1: [(2, 3)]}
+
+    def test_reset(self):
+        reg = EarlyMessageRegistry()
+        reg.record(1, 2, 0)
+        reg.reset()
+        assert not reg
+
+
+class TestWasEarlyRegistry:
+    def test_match_and_remove(self):
+        reg = WasEarlyRegistry()
+        reg.add(1, 2, 0)
+        assert reg.match_and_remove(1, 2, 0)
+        assert not reg.match_and_remove(1, 2, 0)  # removed
+
+    def test_multiset(self):
+        reg = WasEarlyRegistry()
+        reg.add(1, 2, 0)
+        reg.add(1, 2, 0)
+        assert reg.match_and_remove(1, 2, 0)
+        assert reg.match_and_remove(1, 2, 0)
+        assert not reg.match_and_remove(1, 2, 0)
+
+    def test_no_match_for_other_dest(self):
+        reg = WasEarlyRegistry()
+        reg.add(1, 2, 0)
+        assert not reg.match_and_remove(2, 2, 0)
+        assert len(reg) == 1
+
+
+class TestEventLog:
+    def test_record_and_replay_in_order(self):
+        log = EventLog()
+        log.record(EventLog.WAITANY, 5)
+        log.record(EventLog.COLLECTIVE_RESULT, b"r")
+        assert log.replay(EventLog.WAITANY) == 5
+        assert log.replay(EventLog.COLLECTIVE_RESULT) == b"r"
+        assert log.drained
+
+    def test_kind_mismatch_is_divergence(self):
+        log = EventLog()
+        log.record(EventLog.WAITANY, 1)
+        with pytest.raises(ProtocolError):
+            log.replay(EventLog.COLLECTIVE_RESULT)
+
+    def test_replay_past_end_returns_none(self):
+        assert EventLog().replay(EventLog.WAITANY) is None
+
+    def test_wire_roundtrip(self):
+        log = EventLog()
+        log.record(EventLog.WAITSOME, [1, 2, 3])
+        back = EventLog.from_wire(log.to_wire())
+        assert back.replay(EventLog.WAITSOME) == [1, 2, 3]
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                          st.binary(min_size=1, max_size=8)),
+                min_size=1, max_size=20))
+def test_late_registry_fifo_property(entries):
+    """Property: per signature, entries pop in record order."""
+    reg = LateMessageRegistry()
+    for i, (src, tag, payload) in enumerate(entries):
+        reg.record_late(src, tag, 0, payload, rid=i)
+    seen = {}
+    for src, tag, payload in entries:
+        m = reg.match(src, tag, 0)
+        assert m is not None
+        # the matched entry is the oldest unconsumed one for this signature
+        key = (src, tag)
+        expected_idx = seen.get(key, 0)
+        same_sig = [i for i, e in enumerate(entries)
+                    if (e[0], e[1]) == key]
+        assert m.rid == same_sig[expected_idx]
+        seen[key] = expected_idx + 1
+        reg.pop(m)
+    assert not reg

@@ -1,0 +1,91 @@
+"""Harness plumbing: report rendering, runners, paper-data integrity."""
+
+import pytest
+
+from repro.harness import paperdata, render_table
+from repro.harness.platforms import (
+    LEMIEUX_CODES, RESTART_CODES, TABLE1_CODES, VELOCITY2_CODES,
+)
+from repro.harness.report import fmt
+from repro.harness.runner import measure_c3, measure_original, measure_restart
+from repro.mpi.timemodel import TESTING
+
+
+class TestReport:
+    def test_fmt_none_is_unavailable_marker(self):
+        assert fmt(None).strip() == "-*"
+
+    def test_fmt_float(self):
+        assert fmt(3.14159, decimals=2).strip() == "3.14"
+
+    def test_render_table_shape(self):
+        out = render_table("Title", ["A", "B"], [[1, 2.5], [None, "x"]])
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert "-*" in out
+        assert "2.50" in out
+
+
+class TestPaperData:
+    def test_table1_has_both_platforms(self):
+        assert set(paperdata.TABLE1) == {"solaris", "linux"}
+        assert len(paperdata.TABLE1["solaris"]) == 8
+
+    def test_table2_overheads_under_ten_percent(self):
+        for code, rows in paperdata.TABLE2.items():
+            for row in rows:
+                if row[4] is not None:
+                    assert row[4] < 10.0
+
+    def test_table3_smg_anomaly_recorded(self):
+        smg = [r[4] for r in paperdata.TABLE3["SMG2000"]]
+        assert min(smg) > 40.0
+
+    def test_tables_cover_same_codes(self):
+        assert set(paperdata.TABLE2) == set(paperdata.TABLE4)
+        assert set(paperdata.TABLE3) == set(paperdata.TABLE5)
+        assert set(paperdata.TABLE6) == set(paperdata.TABLE7)
+
+
+class TestScaleConfigs:
+    def test_every_code_has_three_points(self):
+        for cfg in LEMIEUX_CODES + VELOCITY2_CODES:
+            assert len(cfg.points) == 3
+            procs = [p.sim_procs for p in cfg.points]
+            assert procs == sorted(procs)
+
+    def test_scale_points_match_paper_rows(self):
+        for cfg in LEMIEUX_CODES:
+            paper_rows = paperdata.TABLE2[cfg.label]
+            assert [p.paper_procs for p in cfg.points] == \
+                [r[0] for r in paper_rows]
+
+    def test_table1_codes_cover_table1(self):
+        labels = {label for _, label, _, _, _ in TABLE1_CODES}
+        assert labels == set(paperdata.TABLE1["solaris"])
+
+
+class TestRunners:
+    def test_measure_original_and_c3(self):
+        params = dict(payload=8, niter=6, work=1e-5)
+        orig = measure_original("ring", 2, TESTING, params)
+        assert orig.virtual_seconds > 0
+        c3 = measure_c3("ring", 2, TESTING, params, checkpoints=0)
+        assert c3.virtual_seconds >= orig.virtual_seconds
+
+    def test_measure_c3_with_checkpoint(self):
+        params = dict(payload=8, niter=10, work=1e-4)
+        base = measure_original("ring", 2, TESTING, params)
+        res = measure_c3("ring", 2, TESTING, params, checkpoints=1,
+                         reference_time=base.virtual_seconds)
+        assert res.checkpoints_committed >= 1
+        assert res.checkpoint_bytes > 0
+        assert res.last_commit_time > 0
+
+    def test_measure_restart(self):
+        out = measure_restart("ring", TESTING,
+                              dict(payload=8, niter=12, work=2e-4))
+        assert out["original_seconds"] > 0
+        assert out["restart_run_seconds"] > 0
+        assert out["restore_seconds"] > 0

@@ -1,0 +1,30 @@
+"""Every shipped example must run clean (they assert their own claims)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "heat_failure.py",
+    "cg_solver.py",
+    "wildcard_replay.py",
+    "precompiled_app.py",
+    "drain_daemon.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=240)
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "OK" in proc.stdout or "matches" in proc.stdout or \
+        "consistent" in proc.stdout

@@ -1,0 +1,89 @@
+"""Property-based protocol fuzzing.
+
+Hypothesis generates random communication programs (ring sends, wildcard
+receives, collectives, nonblocking pairs, compute stagger) plus a random
+failure point and checkpoint cadence; every generated case must satisfy
+the recovery invariant: the fault-tolerant run returns the failure-free
+answer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import C3Config, run_fault_tolerant, run_original
+from repro.mpi import FaultPlan, FaultSpec
+from repro.mpi.ops import SUM
+from repro.storage import InMemoryStorage
+
+#: per-iteration operations the fuzzer chooses from
+OPS = ("ring", "allreduce", "bcast", "nonblocking", "barrier", "gather")
+
+
+def make_app(program, stagger):
+    """Build an app from a list of (op, param) pairs executed per iteration."""
+
+    def app(ctx):
+        comm = ctx.comm
+        r, s = ctx.rank, ctx.size
+        if ctx.first_time("setup"):
+            ctx.state.x = np.arange(4.0) + r
+            ctx.state.inbox = np.zeros(4)
+            ctx.state.acc = 0.0
+            ctx.done("setup")
+        for it in ctx.range("i", len(program)):
+            ctx.checkpoint()
+            ctx.compute(1e-4 * (1 + (r * stagger) % 3))
+            op = program[it]
+            if op == "ring":
+                comm.Send(ctx.state.x, dest=(r + 1) % s, tag=1)
+                buf = np.zeros(4)
+                comm.Recv(buf, source=(r - 1) % s, tag=1)
+                ctx.state.x = buf * 0.95 + it
+            elif op == "allreduce":
+                out = np.zeros(1)
+                comm.Allreduce(np.array([float(ctx.state.x.sum())]), out, SUM)
+                ctx.state.acc += float(out[0])
+            elif op == "bcast":
+                buf = ctx.state.x.copy() if r == it % s else np.zeros(4)
+                comm.Bcast(buf, root=it % s)
+                ctx.state.acc += float(buf.sum())
+            elif op == "nonblocking":
+                req = comm.Irecv(ctx.state.inbox, source=(r - 1) % s, tag=2)
+                comm.Send(ctx.state.x + 1, dest=(r + 1) % s, tag=2)
+                comm.Wait(req)
+                ctx.state.x = ctx.state.inbox.copy()
+            elif op == "barrier":
+                comm.Barrier()
+                ctx.state.acc += 1.0
+            elif op == "gather":
+                out = np.zeros((s, 4)) if r == 0 else None
+                comm.Gather(ctx.state.x, out, root=0)
+                if r == 0:
+                    ctx.state.acc += float(out.sum())
+        return round(float(ctx.state.acc + ctx.state.x.sum()), 6)
+
+    return app
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    program=st.lists(st.sampled_from(OPS), min_size=4, max_size=10),
+    stagger=st.integers(0, 5),
+    fail_rank=st.integers(0, 2),
+    fail_frac=st.floats(0.1, 0.9),
+    interval_frac=st.floats(0.1, 0.5),
+)
+def test_random_program_recovers(program, stagger, fail_rank, fail_frac,
+                                 interval_frac):
+    app = make_app(tuple(program), stagger)
+    ref = run_original(app, 3, wall_timeout=60)
+    ref.raise_errors()
+    T = ref.virtual_time
+    res = run_fault_tolerant(
+        app, 3, storage=InMemoryStorage(),
+        config=C3Config(checkpoint_interval=T * interval_frac),
+        fault_plan=FaultPlan([FaultSpec(rank=fail_rank,
+                                        at_time=T * fail_frac)]),
+        wall_timeout=90)
+    assert res.returns == ref.returns

@@ -1,0 +1,189 @@
+"""Raw engine collectives: correctness over sizes, roots, and dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, PROD, MAX, MIN, MAXLOC, run_job
+from repro.mpi.ops import Op
+
+from repro.testutil import run
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_barrier_completes(nprocs):
+    def main(mpi):
+        for _ in range(3):
+            mpi.COMM_WORLD.Barrier()
+        return True
+    assert all(run(nprocs, main).returns)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+@pytest.mark.parametrize("root", [0, -1])
+def test_bcast(nprocs, root):
+    r = (nprocs - 1) if root == -1 else root
+
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        buf = (np.arange(5.0) + 100 if comm.rank == r else np.zeros(5))
+        comm.Bcast(buf, root=r)
+        return buf.tolist()
+
+    for got in run(nprocs, main).returns:
+        assert got == (np.arange(5.0) + 100).tolist()
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+@pytest.mark.parametrize("root", [0, -1])
+def test_gather(nprocs, root):
+    r = (nprocs - 1) if root == -1 else root
+
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        recv = np.zeros((nprocs, 2)) if comm.rank == r else None
+        comm.Gather(np.array([comm.rank, comm.rank + 0.5]), recv, root=r)
+        return None if recv is None else recv.tolist()
+
+    got = run(nprocs, main).returns[r]
+    for i, row in enumerate(got):
+        assert row == [i, i + 0.5]
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+@pytest.mark.parametrize("root", [0, -1])
+def test_scatter(nprocs, root):
+    r = (nprocs - 1) if root == -1 else root
+
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        send = (np.arange(nprocs * 3, dtype=np.float64)
+                if comm.rank == r else None)
+        recv = np.zeros(3)
+        comm.Scatter(send, recv, root=r)
+        return recv.tolist()
+
+    for rank, got in enumerate(run(nprocs, main).returns):
+        assert got == [3 * rank, 3 * rank + 1, 3 * rank + 2]
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_allgather(nprocs):
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        recv = np.zeros((nprocs, 1))
+        comm.Allgather(np.array([float(comm.rank)]), recv)
+        return recv.reshape(-1).tolist()
+
+    for got in run(nprocs, main).returns:
+        assert got == list(range(nprocs))
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_alltoall(nprocs):
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        send = np.array([comm.rank * 100 + d for d in range(nprocs)],
+                        dtype=np.float64)
+        recv = np.zeros(nprocs)
+        comm.Alltoall(send, recv)
+        return recv.tolist()
+
+    for rank, got in enumerate(run(nprocs, main).returns):
+        assert got == [s * 100 + rank for s in range(nprocs)]
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_alltoallv(nprocs):
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        r = comm.rank
+        sendcounts = [d + 1 for d in range(nprocs)]
+        recvcounts = [r + 1] * nprocs
+        send = np.concatenate([
+            np.full(d + 1, r * 10 + d, dtype=np.float64)
+            for d in range(nprocs)
+        ])
+        recv = np.zeros(sum(recvcounts))
+        comm.Alltoallv(send, sendcounts, recv, recvcounts)
+        return recv.tolist()
+
+    for rank, got in enumerate(run(nprocs, main).returns):
+        expected = []
+        for s in range(nprocs):
+            expected += [s * 10 + rank] * (rank + 1)
+        assert got == expected
+
+
+@pytest.mark.parametrize("op,expected", [
+    (SUM, sum(range(5))), (PROD, 0.0), (MAX, 4.0), (MIN, 0.0),
+])
+def test_reduce_builtin_ops(op, expected):
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        out = np.zeros(1)
+        comm.Reduce(np.array([float(comm.rank)]), out, op, root=0)
+        return out[0] if comm.rank == 0 else None
+
+    assert run(5, main).returns[0] == expected
+
+
+def test_allreduce_everyone_gets_result():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        out = np.zeros(2)
+        comm.Allreduce(np.array([float(comm.rank), 1.0]), out, SUM)
+        return out.tolist()
+
+    for got in run(6, main).returns:
+        assert got == [15.0, 6.0]
+
+
+def test_scan_prefix_sums():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        out = np.zeros(1)
+        comm.Scan(np.array([float(comm.rank + 1)]), out, SUM)
+        return out[0]
+
+    got = run(5, main).returns
+    assert got == [1.0, 3.0, 6.0, 10.0, 15.0]
+
+
+def test_non_commutative_op_rank_order():
+    """Non-commutative ops must fold strictly in rank order."""
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        # string-concatenation-like op on digit arrays: a*10 + b
+        op = mpi.Op_create(lambda a, b: a * 10 + b, commute=False)
+        out = np.zeros(1)
+        comm.Reduce(np.array([float(comm.rank + 1)]), out, op, root=0)
+        return out[0] if comm.rank == 0 else None
+
+    assert run(4, main).returns[0] == 1234.0
+
+
+def test_maxloc():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        val = [3.0, 7.0, 7.0, 1.0][comm.rank]
+        pair = np.array([[val, float(comm.rank)]])
+        out = np.zeros((1, 2))
+        comm.Allreduce(pair, out, MAXLOC)
+        return out[0].tolist()
+
+    for got in run(4, main).returns:
+        assert got == [7.0, 1.0]  # ties pick the lower rank
+
+
+def test_collectives_on_subcommunicator():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        sub = comm.Split(color=comm.rank % 2, key=comm.rank)
+        out = np.zeros(1)
+        sub.Allreduce(np.array([float(comm.rank)]), out, SUM)
+        return out[0]
+
+    got = run(6, main).returns
+    assert got == [6.0, 9.0, 6.0, 9.0, 6.0, 9.0]  # evens: 0+2+4, odds: 1+3+5

@@ -1,0 +1,182 @@
+"""Communicators, groups, splits, and cartesian topologies."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import PROC_NULL, Group
+from repro.mpi.errors import (
+    InvalidCommunicatorError, InvalidRankError, InvalidTagError,
+)
+
+from repro.testutil import run
+
+
+class TestGroup:
+    def test_rank_translation(self):
+        g = Group([4, 2, 7])
+        assert g.size() == 3
+        assert g.rank_of(2) == 1
+        assert g.rank_of(3) is None
+        assert g.translate(2) == 7
+
+    def test_equality(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert Group([1, 2]) != Group([2, 1])
+
+
+class TestErrors:
+    def test_invalid_dest_rank(self):
+        def main(mpi):
+            try:
+                mpi.COMM_WORLD.Send(np.zeros(1), dest=99, tag=0)
+            except InvalidRankError:
+                return "raised"
+        assert run(2, main).returns[0] == "raised"
+
+    def test_negative_tag(self):
+        def main(mpi):
+            try:
+                mpi.COMM_WORLD.Send(np.zeros(1), dest=0, tag=-5)
+            except InvalidTagError:
+                return "raised"
+        assert run(2, main).returns[0] == "raised"
+
+    def test_freed_communicator(self):
+        def main(mpi):
+            sub = mpi.COMM_WORLD.Dup()
+            sub.Free()
+            try:
+                sub.Send(np.zeros(1), dest=0, tag=0)
+            except InvalidCommunicatorError:
+                return "raised"
+        assert run(2, main).returns[0] == "raised"
+
+
+class TestDup:
+    def test_dup_isolates_traffic(self):
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            dup = comm.Dup()
+            if comm.rank == 0:
+                comm.Send(np.array([1.0]), dest=1, tag=7)
+                dup.Send(np.array([2.0]), dest=1, tag=7)
+                return None
+            buf = np.zeros(1)
+            dup.Recv(buf, source=0, tag=7)   # must match the dup message
+            first = buf[0]
+            comm.Recv(buf, source=0, tag=7)
+            return (first, buf[0])
+
+        assert run(2, main).returns[1] == (2.0, 1.0)
+
+    def test_dup_same_context_on_all_ranks(self):
+        def main(mpi):
+            return mpi.COMM_WORLD.Dup().context_id
+
+        got = run(4, main).returns
+        assert len(set(got)) == 1
+
+
+class TestSplit:
+    def test_split_groups_and_ranks(self):
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            sub = comm.Split(color=comm.rank % 2, key=comm.rank)
+            return (sub.size, sub.rank)
+
+        got = run(5, main).returns
+        assert got == [(3, 0), (2, 0), (3, 1), (2, 1), (3, 2)]
+
+    def test_split_key_reorders(self):
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            sub = comm.Split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        got = run(4, main).returns
+        assert got == [3, 2, 1, 0]
+
+    def test_split_undefined_color(self):
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            sub = comm.Split(color=0 if comm.rank == 0 else -1)
+            return sub is None
+
+        got = run(3, main).returns
+        assert got == [False, True, True]
+
+    def test_communication_within_split(self):
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            sub = comm.Split(color=comm.rank // 2, key=comm.rank)
+            if sub.rank == 0:
+                sub.Send(np.array([float(comm.rank)]), dest=1, tag=0)
+                return None
+            buf = np.zeros(1)
+            sub.Recv(buf, source=0, tag=0)
+            return buf[0]
+
+        got = run(4, main).returns
+        assert got == [None, 0.0, None, 2.0]
+
+
+class TestCartesian:
+    def test_coords_roundtrip(self):
+        def main(mpi):
+            cart = mpi.COMM_WORLD.Cart_create((2, 3), (False, True))
+            coords = cart.Get_coords()
+            return (coords, cart.Get_cart_rank(coords))
+
+        for rank, (coords, back) in enumerate(run(6, main).returns):
+            assert back == rank
+
+    def test_shift_nonperiodic_boundary(self):
+        def main(mpi):
+            cart = mpi.COMM_WORLD.Cart_create((4,), (False,))
+            return cart.Shift(0, 1)
+
+        got = run(4, main).returns
+        assert got[0] == (PROC_NULL, 1)
+        assert got[3] == (2, PROC_NULL)
+
+    def test_shift_periodic_wraps(self):
+        def main(mpi):
+            cart = mpi.COMM_WORLD.Cart_create((4,), (True,))
+            return cart.Shift(0, 1)
+
+        got = run(4, main).returns
+        assert got[0] == (3, 1)
+        assert got[3] == (2, 0)
+
+    def test_grid_size_mismatch(self):
+        def main(mpi):
+            try:
+                mpi.COMM_WORLD.Cart_create((2, 2), (False, False))
+            except InvalidCommunicatorError:
+                return "raised"
+
+        assert run(6, main).returns[0] == "raised"
+
+    def test_halo_exchange_on_grid(self):
+        def main(mpi):
+            cart = mpi.COMM_WORLD.Cart_create((2, 2), (True, True))
+            north, south = cart.Shift(0, 1)
+            buf = np.zeros(1)
+            cart.Sendrecv(np.array([float(cart.rank)]), south, 1,
+                          buf, north, 1)
+            return buf[0]
+
+        got = run(4, main).returns
+        # rank r receives from its north neighbor (r+2)%4 in a 2x2 torus
+        assert got == [2.0, 3.0, 0.0, 1.0]
+
+
+def test_comm_self():
+    def main(mpi):
+        buf = np.zeros(1)
+        req = mpi.COMM_SELF.Irecv(buf, source=0, tag=0)
+        mpi.COMM_SELF.Send(np.array([5.0]), dest=0, tag=0)
+        req.wait()
+        return buf[0]
+
+    assert run(3, main).returns == [5.0, 5.0, 5.0]

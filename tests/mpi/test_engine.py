@@ -1,0 +1,191 @@
+"""Engine behavior: results, virtual time, faults, deadlock watchdog."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    DeadlockError, Engine, FaultPlan, FaultSpec, MachineModel, TESTING,
+    run_job,
+)
+
+from repro.testutil import run
+
+
+class TestBasics:
+    def test_returns_per_rank(self):
+        result = run(4, lambda mpi: mpi.rank * 2)
+        assert result.returns == [0, 2, 4, 6]
+
+    def test_single_rank(self):
+        result = run(1, lambda mpi: "solo")
+        assert result.returns == ["solo"]
+
+    def test_nprocs_validation(self):
+        with pytest.raises(ValueError):
+            Engine(0)
+
+    def test_app_exception_collected(self):
+        def main(mpi):
+            if mpi.rank == 1:
+                raise ValueError("boom")
+            mpi.COMM_WORLD.Barrier()
+
+        result = run_job(3, main, wall_timeout=30)
+        assert result.errors and result.errors[0][0] == 1
+        with pytest.raises(RuntimeError, match="boom"):
+            result.raise_errors()
+
+    def test_processor_names(self):
+        machine = TESTING.with_overrides(procs_per_node=2)
+        result = run_job(4, lambda mpi: mpi.Get_processor_name(),
+                         machine=machine)
+        assert result.returns[0] == result.returns[1]
+        assert result.returns[2] != result.returns[0]
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        def main(mpi):
+            mpi.compute(0.5)
+            return mpi.Wtime()
+
+        result = run(1, main)
+        assert result.returns[0] >= 0.5
+        assert result.virtual_time >= 0.5
+
+    def test_work_uses_flop_rate(self):
+        machine = TESTING.with_overrides(flops_per_proc=1e6)
+        def main(mpi):
+            mpi.work(2e6)
+            return mpi.Wtime()
+
+        result = run_job(1, main, machine=machine)
+        assert result.returns[0] == pytest.approx(2.0)
+
+    def test_message_latency_charged_to_receiver(self):
+        machine = TESTING.with_overrides(latency=1e-3, call_overhead=0.0)
+
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            if comm.rank == 0:
+                comm.Send(np.zeros(1), dest=1, tag=0)
+            else:
+                comm.Recv(np.zeros(1), source=0, tag=0)
+            return mpi.Wtime()
+
+        result = run_job(2, main, machine=machine)
+        assert result.returns[0] < 1e-4          # sender pays ~nothing
+        assert result.returns[1] >= 1e-3         # receiver pays the latency
+
+    def test_bandwidth_term(self):
+        machine = TESTING.with_overrides(latency=0.0, bandwidth=1e6,
+                                         call_overhead=0.0)
+
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            if comm.rank == 0:
+                comm.Send(np.zeros(125_000), dest=1, tag=0)  # 1 MB
+            else:
+                comm.Recv(np.zeros(125_000), source=0, tag=0)
+            return mpi.Wtime()
+
+        result = run_job(2, main, machine=machine)
+        assert result.returns[1] == pytest.approx(1.0, rel=0.01)
+
+    def test_blocked_receiver_syncs_to_sender_time(self):
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            if comm.rank == 0:
+                mpi.compute(2.0)
+                comm.Send(np.zeros(1), dest=1, tag=0)
+            else:
+                comm.Recv(np.zeros(1), source=0, tag=0)
+            return mpi.Wtime()
+
+        result = run(2, main)
+        assert result.returns[1] >= 2.0
+
+
+class TestFaults:
+    def test_after_ops_trigger(self):
+        plan = FaultPlan([FaultSpec(rank=1, after_ops=3)])
+
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            for i in range(10):
+                comm.Send(np.zeros(1), dest=(mpi.rank + 1) % 2, tag=i)
+                comm.Recv(np.zeros(1), source=(mpi.rank + 1) % 2, tag=i)
+            return "finished"
+
+        result = run_job(2, main, fault_plan=plan, wall_timeout=30)
+        assert result.failure is not None
+        assert result.failure.rank == 1
+        assert "finished" not in result.returns
+
+    def test_at_time_trigger(self):
+        plan = FaultPlan([FaultSpec(rank=0, at_time=0.5)])
+
+        def main(mpi):
+            for _ in range(100):
+                mpi.compute(0.05)
+                mpi.COMM_WORLD.Barrier()
+            return "finished"
+
+        result = run_job(2, main, fault_plan=plan, wall_timeout=30)
+        assert result.failure is not None
+        assert result.failure.time >= 0.5
+
+    def test_fault_spec_requires_trigger(self):
+        with pytest.raises(ValueError):
+            FaultSpec(rank=0)
+
+    def test_surviving_ranks_unwind(self):
+        plan = FaultPlan([FaultSpec(rank=0, after_ops=1)])
+
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            comm.Barrier()
+            comm.Barrier()
+            return "finished"
+
+        result = run_job(4, main, fault_plan=plan, wall_timeout=30)
+        assert result.failure is not None
+        assert result.returns == [None] * 4
+        assert not result.errors  # JobAborted is not an application error
+
+    def test_fired_specs_do_not_refire(self):
+        plan = FaultPlan([FaultSpec(rank=0, after_ops=1)])
+
+        def main(mpi):
+            mpi.COMM_WORLD.Barrier()
+            return "ok"
+
+        first = run_job(2, main, fault_plan=plan, wall_timeout=30)
+        assert first.failure is not None
+        second = run_job(2, main, fault_plan=plan, wall_timeout=30)
+        assert second.failure is None
+        assert second.returns == ["ok", "ok"]
+
+
+class TestDeadlockWatchdog:
+    def test_detects_never_matching_recv(self):
+        def main(mpi):
+            if mpi.rank == 0:
+                mpi.COMM_WORLD.Recv(np.zeros(1), source=1, tag=1)
+            return "done"
+
+        result = run_job(2, main, wall_timeout=1.0)
+        assert result.errors
+        assert "deadlock" in result.errors[0][1].lower() or \
+               "timeout" in result.errors[0][1].lower()
+
+
+class TestContextIds:
+    def test_context_for_is_stable(self):
+        engine = Engine(2)
+        a = engine.context_for(("k", 1))
+        b = engine.context_for(("k", 1))
+        c = engine.context_for(("k", 2))
+        assert a == b
+        assert a != c
+        assert a[1] == a[0] + 1  # shadow pairs

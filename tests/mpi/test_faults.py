@@ -1,0 +1,74 @@
+"""FaultPlan unit behavior."""
+
+import pytest
+
+from repro.mpi.errors import ProcessFailure
+from repro.mpi.faults import FaultPlan, FaultSpec
+
+
+def test_after_ops_threshold():
+    plan = FaultPlan([FaultSpec(rank=0, after_ops=3)])
+    plan.check(0, 2, 0.0)
+    with pytest.raises(ProcessFailure) as exc:
+        plan.check(0, 3, 1.5)
+    assert exc.value.rank == 0
+    assert exc.value.time == 1.5
+
+
+def test_at_time_threshold():
+    plan = FaultPlan([FaultSpec(rank=1, at_time=2.0)])
+    plan.check(1, 100, 1.99)
+    with pytest.raises(ProcessFailure):
+        plan.check(1, 100, 2.0)
+
+
+def test_only_target_rank_affected():
+    plan = FaultPlan([FaultSpec(rank=2, after_ops=1)])
+    for rank in (0, 1, 3):
+        plan.check(rank, 1000, 1000.0)  # no raise
+
+
+def test_fired_specs_do_not_refire():
+    plan = FaultPlan([FaultSpec(rank=0, after_ops=1)])
+    with pytest.raises(ProcessFailure):
+        plan.check(0, 1, 0.0)
+    plan.check(0, 99, 99.0)  # spent
+    assert len(plan.fired) == 1
+
+
+def test_probabilistic_is_seeded():
+    def count_fires(seed):
+        plan = FaultPlan([FaultSpec(rank=0, probability=0.2)], seed=seed)
+        fires = 0
+        for i in range(200):
+            try:
+                plan.check(0, i, float(i))
+            except ProcessFailure:
+                fires += 1
+                plan.fired.clear()  # re-arm for counting
+        return fires
+
+    assert count_fires(1) == count_fires(1)
+    assert 10 < count_fires(1) < 90
+
+
+def test_add_and_bool():
+    plan = FaultPlan.none()
+    assert not plan
+    plan.add(FaultSpec(rank=0, after_ops=5))
+    assert plan
+
+
+def test_reason_propagates():
+    plan = FaultPlan([FaultSpec(rank=0, after_ops=1, reason="psu died")])
+    with pytest.raises(ProcessFailure, match="psu died"):
+        plan.check(0, 1, 0.0)
+
+
+def test_multiple_specs_per_rank():
+    plan = FaultPlan([FaultSpec(rank=0, after_ops=5),
+                      FaultSpec(rank=0, at_time=1.0)])
+    with pytest.raises(ProcessFailure):
+        plan.check(0, 1, 1.0)   # at_time fires first
+    with pytest.raises(ProcessFailure):
+        plan.check(0, 5, 0.0)   # after_ops still armed

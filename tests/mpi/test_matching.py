@@ -1,0 +1,151 @@
+"""Mailbox matching semantics: wildcards, ordering, truncation."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.errors import JobAborted, TruncationError
+from repro.mpi.matching import ANY_SOURCE, ANY_TAG, Mailbox, PostedRecv, signature_matches
+from repro.mpi.message import Envelope, MessageSignature
+
+
+def env(source=0, tag=0, ctx=0, payload=b"x", dest=0, seq=0):
+    return Envelope(MessageSignature(source, tag, ctx), payload, len(payload),
+                    "MPI_BYTE", dest, seq=seq)
+
+
+def mailbox():
+    return Mailbox(0, threading.Event())
+
+
+class TestSignatureMatching:
+    def test_exact(self):
+        assert signature_matches(env(1, 2, 3), 3, 1, 2)
+
+    def test_wrong_context_never_matches(self):
+        assert not signature_matches(env(1, 2, 3), 4, ANY_SOURCE, ANY_TAG)
+
+    def test_any_source(self):
+        assert signature_matches(env(5, 2, 0), 0, ANY_SOURCE, 2)
+
+    def test_any_tag(self):
+        assert signature_matches(env(1, 9, 0), 0, 1, ANY_TAG)
+
+    def test_both_wildcards(self):
+        assert signature_matches(env(7, 8, 0), 0, ANY_SOURCE, ANY_TAG)
+
+    def test_source_mismatch(self):
+        assert not signature_matches(env(1, 2, 0), 0, 2, 2)
+
+
+class TestMailbox:
+    def test_deliver_then_post(self):
+        mb = mailbox()
+        mb.deliver(env(1, 5, 0, b"abc"))
+        pr = PostedRecv(0, 1, 5, 100)
+        mb.post(pr)
+        assert pr.matched
+        assert pr.envelope.payload == b"abc"
+
+    def test_post_then_deliver(self):
+        mb = mailbox()
+        pr = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        mb.post(pr)
+        assert not pr.matched
+        mb.deliver(env(2, 3, 0))
+        assert pr.matched
+
+    def test_earliest_posted_recv_wins(self):
+        mb = mailbox()
+        pr1 = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        pr2 = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        mb.post(pr1)
+        mb.post(pr2)
+        mb.deliver(env())
+        assert pr1.matched and not pr2.matched
+
+    def test_oldest_pending_message_wins(self):
+        mb = mailbox()
+        mb.deliver(env(0, 1, 0, b"first"))
+        mb.deliver(env(0, 1, 0, b"second"))
+        pr = PostedRecv(0, 0, 1, 100)
+        mb.post(pr)
+        assert pr.envelope.payload == b"first"
+
+    def test_tag_selection_skips_nonmatching(self):
+        # the app may consume messages out of arrival order by tag —
+        # the paper's Section 2.4 observation
+        mb = mailbox()
+        mb.deliver(env(0, 1, 0, b"tag1"))
+        mb.deliver(env(0, 2, 0, b"tag2"))
+        pr = PostedRecv(0, 0, 2, 100)
+        mb.post(pr)
+        assert pr.envelope.payload == b"tag2"
+        pr2 = PostedRecv(0, 0, 1, 100)
+        mb.post(pr2)
+        assert pr2.envelope.payload == b"tag1"
+
+    def test_truncation_raises(self):
+        mb = mailbox()
+        mb.deliver(env(0, 0, 0, b"0123456789"))
+        with pytest.raises(TruncationError):
+            mb.post(PostedRecv(0, 0, 0, 4))
+
+    def test_cancel_unmatched(self):
+        mb = mailbox()
+        pr = PostedRecv(0, 0, 0, 10)
+        mb.post(pr)
+        assert mb.cancel(pr)
+        mb.deliver(env())
+        assert not pr.matched
+        assert mb.pending_count() == 1
+
+    def test_cancel_matched_fails(self):
+        mb = mailbox()
+        mb.deliver(env())
+        pr = PostedRecv(0, 0, 0, 10)
+        mb.post(pr)
+        assert not mb.cancel(pr)
+
+    def test_probe_does_not_consume(self):
+        mb = mailbox()
+        mb.deliver(env(3, 4, 0))
+        assert mb.probe_pending(0, 3, 4) is not None
+        assert mb.pending_count() == 1
+
+    def test_abort_wakes_wait(self):
+        abort = threading.Event()
+        mb = Mailbox(0, abort)
+        abort.set()
+        with pytest.raises(JobAborted):
+            mb.wait_for(lambda: False)
+
+    def test_stats(self):
+        mb = mailbox()
+        mb.deliver(env(payload=b"abcd"))
+        mb.deliver(env(payload=b"ef"))
+        assert mb.delivered_count == 2
+        assert mb.delivered_bytes == 6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)),
+                min_size=1, max_size=12))
+def test_per_signature_fifo(messages):
+    """Property: messages with equal (source, tag) are received in send
+    order, no matter how other signatures interleave (MPI non-overtaking)."""
+    mb = mailbox()
+    seq = {}
+    for source, tag in messages:
+        k = (source, tag)
+        seq[k] = seq.get(k, 0) + 1
+        mb.deliver(env(source, tag, 0, payload=str(seq[k]).encode()))
+    got = {}
+    for source, tag in messages:
+        pr = PostedRecv(0, source, tag, 100)
+        mb.post(pr)
+        assert pr.matched
+        k = (source, tag)
+        got[k] = got.get(k, 0) + 1
+        assert pr.envelope.payload == str(got[k]).encode()

@@ -1,0 +1,60 @@
+"""Reduction operations."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.errors import InvalidOpError
+from repro.mpi.ops import (
+    BUILTIN_OPS, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, Op, PROD, SUM,
+)
+
+
+def test_builtin_registry():
+    assert "MPI_SUM" in BUILTIN_OPS
+    assert len(BUILTIN_OPS) == 12
+
+
+def test_sum_prod_elementwise():
+    a, b = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+    assert np.array_equal(SUM(a, b), [4.0, 6.0])
+    assert np.array_equal(PROD(a, b), [3.0, 8.0])
+
+
+def test_min_max():
+    a, b = np.array([1.0, 5.0]), np.array([3.0, 4.0])
+    assert np.array_equal(MAX(a, b), [3.0, 5.0])
+    assert np.array_equal(MIN(a, b), [1.0, 4.0])
+
+
+def test_logical():
+    a = np.array([True, False, True])
+    b = np.array([True, True, False])
+    assert np.array_equal(LAND(a, b), [True, False, False])
+    assert np.array_equal(LOR(a, b), [True, True, True])
+
+
+def test_maxloc_tie_picks_lower_index():
+    a = np.array([[5.0, 3.0]])
+    b = np.array([[5.0, 1.0]])
+    assert np.array_equal(MAXLOC(a, b), [[5.0, 1.0]])
+
+
+def test_minloc():
+    a = np.array([[2.0, 0.0]])
+    b = np.array([[1.0, 4.0]])
+    assert np.array_equal(MINLOC(a, b), [[1.0, 4.0]])
+
+
+def test_user_op_create_and_free():
+    op = Op.create(lambda a, b: a - b, commute=False, name="diff")
+    assert not op.commutative
+    assert np.array_equal(op(np.array([5.0]), np.array([2.0])), [3.0])
+    op.free()
+    with pytest.raises(InvalidOpError):
+        op(np.array([1.0]), np.array([1.0]))
+
+
+def test_handles_are_unique():
+    a = Op.create(lambda x, y: x)
+    b = Op.create(lambda x, y: y)
+    assert a.handle != b.handle

@@ -1,0 +1,174 @@
+"""Non-blocking requests: isend/irecv, wait/test families, cancellation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.errors import InvalidRequestError
+
+from repro.testutil import run
+
+
+def test_isend_irecv_wait():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            req = comm.Isend(np.arange(4.0), dest=1, tag=9)
+            st = req.wait()
+            return st.source
+        buf = np.zeros(4)
+        req = comm.Irecv(buf, source=0, tag=9)
+        st = req.wait()
+        return (buf.tolist(), st.source, st.tag, st.count)
+
+    got = run(2, main).returns
+    assert got[1] == ([0.0, 1.0, 2.0, 3.0], 0, 9, 4)
+
+
+def test_wait_twice_raises():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            comm.Send(np.zeros(1), dest=1, tag=0)
+            return None
+        buf = np.zeros(1)
+        req = comm.Irecv(buf, source=0, tag=0)
+        req.wait()
+        try:
+            req.wait()
+        except InvalidRequestError:
+            return "raised"
+        return "no error"
+
+    assert run(2, main).returns[1] == "raised"
+
+
+def test_test_polls_until_complete():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            buf = np.zeros(1)
+            req = comm.Irecv(buf, source=1, tag=1)
+            polls = 0
+            while True:
+                done, st = req.test()
+                if done:
+                    return (polls >= 0, buf[0], st.source)
+                polls += 1
+        else:
+            mpi.compute(1e-3)
+            comm.Send(np.array([42.0]), dest=0, tag=1)
+            return None
+
+    ok, value, source = run(2, main).returns[0]
+    assert ok and value == 42.0 and source == 1
+
+
+def test_waitall_order():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            bufs = [np.zeros(1) for _ in range(3)]
+            reqs = [comm.Irecv(bufs[i], source=1, tag=i) for i in range(3)]
+            statuses = mpi.Waitall(reqs)
+            return ([b[0] for b in bufs], [s.tag for s in statuses])
+        for i in (2, 0, 1):  # send out of tag order
+            comm.Send(np.array([float(i * 10)]), dest=0, tag=i)
+        return None
+
+    values, tags = run(2, main).returns[0]
+    assert values == [0.0, 10.0, 20.0]
+    assert tags == [0, 1, 2]
+
+
+def test_waitany_returns_a_completed_index():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            bufs = [np.zeros(1) for _ in range(2)]
+            reqs = [comm.Irecv(bufs[i], source=i + 1, tag=5) for i in range(2)]
+            idx, st = mpi.Waitany(reqs)
+            idx2, st2 = mpi.Waitany(reqs)
+            return sorted([idx, idx2]), sorted([st.source, st2.source])
+        comm.Send(np.array([1.0]), dest=0, tag=5)
+        return None
+
+    indices, sources = run(3, main).returns[0]
+    assert indices == [0, 1]
+    assert sources == [1, 2]
+
+
+def test_waitsome_collects_all_ready():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            bufs = [np.zeros(1) for _ in range(3)]
+            reqs = [comm.Irecv(bufs[i], source=1, tag=i) for i in range(3)]
+            collected = 0
+            while collected < 3:
+                indices, statuses = mpi.Waitsome(reqs)
+                collected += len(indices)
+            return collected
+        for i in range(3):
+            comm.Send(np.zeros(1), dest=0, tag=i)
+        return None
+
+    assert run(2, main).returns[0] == 3
+
+
+def test_testall_all_or_nothing():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        if comm.rank == 0:
+            bufs = [np.zeros(1), np.zeros(1)]
+            reqs = [comm.Irecv(bufs[i], source=1, tag=i) for i in range(2)]
+            done, _ = mpi.Testall(reqs)
+            first = done
+            comm.Send(np.zeros(1), dest=1, tag=99)  # unblock the sender
+            while True:
+                done, statuses = mpi.Testall(reqs)
+                if done:
+                    return (first, len(statuses))
+        else:
+            buf = np.zeros(1)
+            comm.Send(np.zeros(1), dest=0, tag=0)
+            comm.Recv(buf, source=0, tag=99)
+            comm.Send(np.zeros(1), dest=0, tag=1)
+            return None
+
+    first, n = run(2, main).returns[0]
+    assert n == 2
+
+
+def test_cancel_unmatched_recv():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        buf = np.zeros(1)
+        req = comm.Irecv(buf, source=mpi.rank, tag=77)
+        return req.cancel()
+
+    assert run(1, main).returns[0] is True
+
+
+def test_sendrecv_exchange():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        r, s = comm.rank, comm.size
+        out = np.array([float(r)])
+        buf = np.zeros(1)
+        comm.Sendrecv(out, (r + 1) % s, 3, buf, (r - 1) % s, 3)
+        return buf[0]
+
+    got = run(4, main).returns
+    assert got == [3.0, 0.0, 1.0, 2.0]
+
+
+def test_recv_from_proc_null_is_immediate():
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        buf = np.ones(4)
+        st = comm.Recv(buf, source=mpi.PROC_NULL, tag=0)
+        return (st.count, buf.tolist())
+
+    count, buf = run(1, main).returns[0]
+    assert count == 0
+    assert buf == [1.0, 1.0, 1.0, 1.0]  # untouched

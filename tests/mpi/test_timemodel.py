@@ -1,0 +1,67 @@
+"""Machine models and the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.timemodel import (
+    CMI, LEMIEUX, MACHINES, MachineModel, RankClock, TESTING, VELOCITY2,
+)
+
+
+class TestRankClock:
+    def test_advance(self):
+        c = RankClock()
+        assert c.advance(1.5) == 1.5
+        assert c.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            RankClock().advance(-1)
+
+    def test_sync_to_only_moves_forward(self):
+        c = RankClock(5.0)
+        c.sync_to(3.0)
+        assert c.now == 5.0
+        c.sync_to(7.0)
+        assert c.now == 7.0
+
+
+class TestMachineModel:
+    def test_transfer_time_components(self):
+        m = MachineModel("m", 1e9, latency=1e-5, bandwidth=1e8,
+                         call_overhead=0, c3_call_overhead=0)
+        assert m.transfer_time(0) == 1e-5
+        assert m.transfer_time(1e8) == pytest.approx(1.0 + 1e-5)
+
+    def test_disk_times(self):
+        m = TESTING
+        assert m.disk_write_time(0) == m.disk_latency
+        assert m.disk_read_time(10**9) > m.disk_write_time(0)
+
+    def test_with_overrides_does_not_mutate(self):
+        m2 = LEMIEUX.with_overrides(latency=1.0)
+        assert m2.latency == 1.0
+        assert LEMIEUX.latency != 1.0
+
+    def test_registry_contains_paper_platforms(self):
+        for name in ("lemieux", "velocity2", "cmi", "solaris", "linux"):
+            assert name in MACHINES
+
+    def test_velocity2_piggyback_penalty_is_the_anomaly(self):
+        # the modelled source of the paper's SMG2000-on-Velocity2 blow-up
+        assert VELOCITY2.piggyback_overhead > 10 * LEMIEUX.piggyback_overhead
+        assert VELOCITY2.piggyback_overhead > 10 * CMI.piggyback_overhead
+
+    def test_quadrics_faster_than_gige(self):
+        assert LEMIEUX.latency < VELOCITY2.latency
+        assert LEMIEUX.bandwidth > VELOCITY2.bandwidth
+
+
+@given(st.lists(st.floats(0, 1e3), max_size=20))
+def test_clock_is_monotone(increments):
+    c = RankClock()
+    prev = 0.0
+    for dt in increments:
+        now = c.advance(dt)
+        assert now >= prev
+        prev = now

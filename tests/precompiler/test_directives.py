@@ -1,0 +1,59 @@
+"""Directive parsing and source preprocessing."""
+
+import pytest
+
+from repro.precompiler.directives import (
+    DirectiveError, SENTINEL_LOOP, SENTINEL_SAVE, SENTINEL_SETUP_END,
+    preprocess,
+)
+
+
+def test_checkpoint_directive():
+    src, n = preprocess("x = 1\n    # ccc: checkpoint\ny = 2")
+    assert n == 1
+    assert "    ctx.checkpoint()" in src.splitlines()
+
+
+def test_save_directive():
+    src, n = preprocess("# ccc: save(a, b)")
+    assert src == f"{SENTINEL_SAVE}('a', 'b')"
+
+
+def test_setup_end_directive():
+    src, _ = preprocess("  # ccc: setup-end")
+    assert src.strip() == f"{SENTINEL_SETUP_END}()"
+
+
+def test_loop_directive():
+    src, _ = preprocess("# ccc: loop(step)")
+    assert src == f"{SENTINEL_LOOP}('step')"
+
+
+def test_line_numbers_preserved():
+    original = "a = 1\n# ccc: checkpoint\nb = 2\n# ccc: save(x)\nc = 3"
+    processed, n = preprocess(original)
+    assert n == 2
+    assert len(processed.splitlines()) == len(original.splitlines())
+    assert processed.splitlines()[0] == "a = 1"
+    assert processed.splitlines()[4] == "c = 3"
+
+
+def test_unknown_directive():
+    with pytest.raises(DirectiveError):
+        preprocess("# ccc: frobnicate")
+
+
+def test_empty_save():
+    with pytest.raises(DirectiveError):
+        preprocess("# ccc: save( )")
+
+
+def test_trailing_directive_rejected():
+    with pytest.raises(DirectiveError):
+        preprocess("x = 1  # ccc: checkpoint")
+
+
+def test_non_directive_comments_untouched():
+    src, n = preprocess("# a normal comment\nx = 1")
+    assert n == 0
+    assert src == "# a normal comment\nx = 1"

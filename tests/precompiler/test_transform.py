@@ -1,0 +1,155 @@
+"""AST instrumentation: the compile-time transformation end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import C3Config, run_fault_tolerant, run_original
+from repro.mpi import FaultPlan, FaultSpec
+from repro.precompiler import TransformError, instrument
+from repro.storage import InMemoryStorage
+
+
+def simple_app(ctx):
+    # ccc: save(x, total)
+    x = np.zeros(4)
+    total = 0.0
+    # ccc: setup-end
+    # ccc: loop(it)
+    for it in range(10):
+        # ccc: checkpoint
+        x = x + it
+        total = total + float(x.sum())
+        ctx.compute(1e-4)
+    return total
+
+
+class TestInstrumentation:
+    def test_metadata(self):
+        app = instrument(simple_app)
+        assert app.__ccc_saved__ == ["total", "x"]
+        assert app.__ccc_directives__ == 4
+        assert app.__wrapped__ is simple_app
+
+    def test_saved_variables_live_in_state(self):
+        app = instrument(simple_app)
+
+        def probe(ctx):
+            app(ctx)
+            return sorted(k for k in ctx.state if not k.startswith("__"))
+
+        result = run_original(probe, 1)
+        result.raise_errors()
+        assert result.returns[0] == ["total", "x"]
+
+    def test_loop_is_resumable(self):
+        app = instrument(simple_app)
+
+        def probe(ctx):
+            app(ctx)
+            return ctx.state["__loop_it"]
+
+        result = run_original(probe, 1)
+        result.raise_errors()
+        assert result.returns[0] == 10
+
+    def test_runs_identically_to_plain_logic(self):
+        app = instrument(simple_app)
+        result = run_original(app, 2)
+        result.raise_errors()
+        # hand computation: total = sum over it of sum(x_it)
+        x = np.zeros(4)
+        total = 0.0
+        for it in range(10):
+            x = x + it
+            total += x.sum()
+        assert result.returns == [total, total]
+
+
+class TestRecovery:
+    def test_instrumented_app_survives_failure(self):
+        app = instrument(simple_app)
+        ref = run_original(app, 2)
+        ref.raise_errors()
+        res = run_fault_tolerant(
+            app, 2, storage=InMemoryStorage(),
+            config=C3Config(checkpoint_interval=3e-4),
+            fault_plan=FaultPlan([FaultSpec(rank=0, at_time=6e-4)]))
+        assert res.restarts == 1
+        assert res.returns == ref.returns
+
+
+class TestRejections:
+    def test_missing_ctx_parameter(self):
+        def no_ctx(x):
+            return x
+
+        with pytest.raises(TransformError, match="ctx"):
+            instrument(no_ctx)
+
+    def test_leaked_setup_variable(self):
+        def leaky(ctx):
+            # ccc: save(x)
+            x = 1.0
+            helper = 2.0
+            # ccc: setup-end
+            return x + helper  # helper is used but not saved
+
+        with pytest.raises(TransformError, match="helper"):
+            instrument(leaky)
+
+    def test_loop_requires_range(self):
+        def bad_loop(ctx):
+            items = [1, 2]
+            # ccc: loop(i)
+            for i in items:
+                pass
+
+        with pytest.raises(TransformError, match="range"):
+            instrument(bad_loop)
+
+    def test_nested_function_rejected_when_touching_saved(self):
+        def nested(ctx):
+            # ccc: save(x)
+            x = 1.0
+            # ccc: setup-end
+            def inner():
+                return x
+            return inner()
+
+        with pytest.raises(TransformError):
+            instrument(nested)
+
+    def test_ctx_cannot_be_saved(self):
+        def bad(ctx):
+            # ccc: save(ctx)
+            pass
+
+        with pytest.raises(TransformError):
+            instrument(bad)
+
+
+def test_communicating_instrumented_app():
+    def comm_app(ctx):
+        # ccc: save(acc)
+        acc = 0.0
+        # ccc: setup-end
+        comm = ctx.comm
+        r = ctx.rank
+        s = ctx.size
+        # ccc: loop(i)
+        for i in range(8):
+            # ccc: checkpoint
+            comm.Send(np.array([float(i + r)]), dest=(r + 1) % s, tag=1)
+            buf = np.zeros(1)
+            comm.Recv(buf, source=(r - 1) % s, tag=1)
+            acc = acc + float(buf[0])
+        return acc
+
+    app = instrument(comm_app)
+    ref = run_original(app, 3)
+    ref.raise_errors()
+    res = run_fault_tolerant(
+        app, 3, storage=InMemoryStorage(),
+        config=C3Config(checkpoint_interval=2e-4),
+        fault_plan=FaultPlan([FaultSpec(rank=1, at_time=5e-4)]))
+    assert res.returns == ref.returns

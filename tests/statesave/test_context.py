@@ -1,0 +1,147 @@
+"""Application Context: state, resumable ranges, guards, phases."""
+
+import numpy as np
+import pytest
+
+from repro.statesave.context import AppState, Context, StateError
+from repro.testutil import run
+
+
+def make_ctx():
+    holder = {}
+
+    def main(mpi):
+        holder["ctx"] = Context(mpi)
+        return True
+
+    run(1, main)
+    return holder["ctx"]
+
+
+class TestAppState:
+    def test_attribute_and_item_access(self):
+        s = AppState()
+        s.x = 1
+        assert s["x"] == 1
+        s["y"] = 2
+        assert s.y == 2
+
+    def test_missing_key(self):
+        s = AppState()
+        with pytest.raises(StateError):
+            s["nope"]
+        with pytest.raises(AttributeError):
+            s.nope
+
+    def test_iteration_and_len(self):
+        s = AppState({"a": 1, "b": 2})
+        assert sorted(s) == ["a", "b"]
+        assert len(s) == 2
+
+    def test_delete(self):
+        s = AppState({"a": 1})
+        del s["a"]
+        assert "a" not in s
+
+    def test_nbytes(self):
+        s = AppState()
+        s.arr = np.zeros(10)       # 80
+        s.blob = b"12345"          # 5
+        s.num = 3                  # 16 nominal
+        assert s.nbytes == 101
+
+    def test_replace_all(self):
+        s = AppState({"a": 1})
+        s.replace_all({"b": 2})
+        assert "a" not in s and s.b == 2
+
+
+class TestResumableRange:
+    def test_plain_iteration(self):
+        ctx = make_ctx()
+        assert list(ctx.range("i", 5)) == [0, 1, 2, 3, 4]
+        assert ctx.state["__loop_i"] == 5
+
+    def test_start_stop_step(self):
+        ctx = make_ctx()
+        assert list(ctx.range("i", 2, 8, 3)) == [2, 5]
+
+    def test_resume_from_saved_counter(self):
+        ctx = make_ctx()
+        ctx.state["__loop_i"] = 3
+        assert list(ctx.range("i", 10)) == list(range(3, 10))
+
+    def test_nonpositive_step(self):
+        ctx = make_ctx()
+        with pytest.raises(StateError):
+            list(ctx.range("i", 0, 5, 0))
+
+
+class TestGuards:
+    def test_first_time_done(self):
+        ctx = make_ctx()
+        assert ctx.first_time("init")
+        ctx.done("init")
+        assert not ctx.first_time("init")
+
+    def test_once(self):
+        ctx = make_ctx()
+        calls = []
+        ctx.once("x", lambda: calls.append(1))
+        ctx.once("x", lambda: calls.append(2))
+        assert calls == [1]
+
+
+class TestPhases:
+    def test_phase_tracks_loop_iteration(self):
+        ctx = make_ctx()
+        log = []
+        for it in ctx.range("L", 3):
+            if ctx.phase_pending("L", "a"):
+                log.append(("a", it))
+                ctx.phase_done("L", "a")
+            if ctx.phase_pending("L", "b"):
+                log.append(("b", it))
+                ctx.phase_done("L", "b")
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1),
+                       ("a", 2), ("b", 2)]
+
+    def test_phase_skipped_after_restore_mid_iteration(self):
+        ctx = make_ctx()
+        # simulate: checkpoint taken between phase a and b of iteration 1
+        ctx.state["__loop_L"] = 1
+        ctx.state["__phase_L_a"] = 1
+        log = []
+        for it in ctx.range("L", 3):
+            if ctx.phase_pending("L", "a"):
+                log.append(("a", it))
+                ctx.phase_done("L", "a")
+            if ctx.phase_pending("L", "b"):
+                log.append(("b", it))
+                ctx.phase_done("L", "b")
+        assert log == [("b", 1), ("a", 2), ("b", 2)]
+
+    def test_phase_outside_loop(self):
+        ctx = make_ctx()
+        with pytest.raises(StateError):
+            ctx.phase_pending("nope", "x")
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        ctx = make_ctx()
+        ctx.state.x = np.arange(3.0)
+        ctx.state.n = 5
+        ctx.pragma_count = 2
+        snap = ctx.snapshot_state()
+        ctx2 = make_ctx()
+        ctx2.restore_state(snap)
+        assert np.array_equal(ctx2.state.x, np.arange(3.0))
+        assert ctx2.state.n == 5
+        assert ctx2.restored
+        assert ctx2.pragma_count == 2
+
+    def test_checkpoint_bytes(self):
+        ctx = make_ctx()
+        ctx.state.x = np.zeros(100)
+        assert ctx.checkpoint_bytes >= 800

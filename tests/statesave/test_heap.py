@@ -1,0 +1,100 @@
+"""Simulated heap: allocation, image accounting, snapshot/restore."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.statesave.heap import HeapError, SimHeap
+
+
+class TestAllocation:
+    def test_addresses_are_stable_and_distinct(self):
+        h = SimHeap()
+        a = h.malloc(100, "a")
+        b = h.malloc(100, "b")
+        assert a != b
+        assert h.block(a).label == "a"
+
+    def test_free_and_reuse(self):
+        h = SimHeap()
+        a = h.malloc(256)
+        h.free(a)
+        b = h.malloc(128)
+        assert b == a  # first-fit reuses the freed block
+
+    def test_double_free(self):
+        h = SimHeap()
+        a = h.malloc(10)
+        h.free(a)
+        with pytest.raises(HeapError):
+            h.free(a)
+
+    def test_negative_size(self):
+        with pytest.raises(HeapError):
+            SimHeap().malloc(-1)
+
+    def test_alloc_array(self):
+        h = SimHeap()
+        addr, arr = h.alloc_array((4, 4), dtype=np.float32)
+        assert arr.shape == (4, 4)
+        assert h.block(addr).data is arr
+
+
+class TestAccounting:
+    def test_live_vs_image(self):
+        h = SimHeap(static_segment_bytes=1000, stack_bytes=500)
+        a = h.malloc(1024)
+        b = h.malloc(2048)
+        h.free(a)
+        assert h.live_bytes == 2048
+        # the image keeps the freed extent + static segment + stack
+        assert h.image_bytes >= 1000 + 500 + 1024 + 2048
+
+    def test_image_never_shrinks(self):
+        h = SimHeap()
+        a = h.malloc(4096)
+        before = h.image_bytes
+        h.free(a)
+        assert h.image_bytes == before
+
+
+class TestSnapshot:
+    def test_roundtrip_restores_addresses_and_data(self):
+        h = SimHeap(static_segment_bytes=64)
+        addr, arr = h.alloc_array(8)
+        arr[:] = np.arange(8.0)
+        tmp = h.malloc(100)
+        h.free(tmp)
+        snap = h.snapshot()
+        h2 = SimHeap.from_snapshot(snap)
+        assert h2.live_bytes == h.live_bytes
+        assert h2.image_bytes == h.image_bytes
+        block = h2.block(addr)           # original address still valid
+        assert np.array_equal(block.data, np.arange(8.0))
+
+    def test_corrupt_snapshot(self):
+        from repro.statesave.serializer import SerializationError
+        with pytest.raises(SerializationError):
+            SimHeap.from_snapshot({"bogus": 1})
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 4096)),
+                min_size=1, max_size=30))
+def test_heap_invariants_property(ops):
+    """Property: live_bytes == sum of live allocations; image >= live;
+    no address is handed out twice while live."""
+    h = SimHeap()
+    live = {}
+    for do_free, size in ops:
+        if do_free and live:
+            addr = next(iter(live))
+            h.free(addr)
+            del live[addr]
+        else:
+            addr = h.malloc(size)
+            assert addr not in live
+            live[addr] = size
+    assert h.live_bytes == sum(live.values())
+    assert h.image_bytes - h.static_segment_bytes - h.stack_bytes >= \
+        h.live_bytes

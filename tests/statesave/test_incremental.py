@@ -1,0 +1,106 @@
+"""Incremental checkpointing (dirty pages, chains)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.statesave.incremental import (
+    IncrementalError, IncrementalTracker, PAGE,
+)
+
+
+def test_first_save_is_full():
+    t = IncrementalTracker()
+    rec = t.encode({"a": np.zeros(1024)})
+    assert rec["full"]
+    assert rec["arrays"]["a"]["kind"] == "full"
+
+
+def test_unchanged_array_costs_nothing():
+    t = IncrementalTracker()
+    a = np.zeros(2048)
+    t.encode({"a": a})
+    rec = t.encode({"a": a})
+    assert not rec["full"]
+    assert rec["arrays"]["a"]["kind"] == "delta"
+    assert IncrementalTracker.record_bytes(rec) == 0
+
+
+def test_only_dirty_pages_saved():
+    t = IncrementalTracker()
+    a = np.zeros(4 * PAGE // 8)  # 4 pages of float64
+    t.encode({"a": a})
+    a[0] = 1.0                   # dirty exactly one page
+    rec = t.encode({"a": a})
+    assert IncrementalTracker.record_bytes(rec) == PAGE
+
+
+def test_chain_decode_reconstructs():
+    t = IncrementalTracker()
+    a = np.arange(PAGE // 8 * 3, dtype=np.float64)
+    records = [t.encode({"a": a})]
+    a[0] = -1.0
+    records.append(t.encode({"a": a}))
+    a[-1] = -2.0
+    records.append(t.encode({"a": a}))
+    out = IncrementalTracker.decode_chain(records)
+    assert np.array_equal(out["a"], a)
+
+
+def test_full_interval_forces_periodic_full():
+    t = IncrementalTracker(full_interval=2)
+    a = np.zeros(PAGE // 8)
+    recs = [t.encode({"a": a}) for _ in range(4)]
+    assert [r["full"] for r in recs] == [True, False, True, False]
+
+
+def test_deleted_arrays_do_not_resurrect():
+    t = IncrementalTracker()
+    records = [t.encode({"a": np.ones(8), "b": np.ones(8)})]
+    records.append(t.encode({"a": np.ones(8)}))  # b deleted
+    out = IncrementalTracker.decode_chain(records)
+    assert set(out) == {"a"}
+
+
+def test_geometry_change_forces_full_entry():
+    t = IncrementalTracker()
+    t.encode({"a": np.zeros(PAGE // 8)})
+    rec = t.encode({"a": np.zeros(PAGE // 8 * 2)})  # grew
+    assert rec["arrays"]["a"]["kind"] == "full"
+
+
+def test_chain_must_start_full():
+    t = IncrementalTracker()
+    a = np.zeros(PAGE // 8)
+    t.encode({"a": a})
+    a[0] = 1
+    delta = t.encode({"a": a})
+    with pytest.raises(IncrementalError):
+        IncrementalTracker.decode_chain([delta])
+
+
+def test_empty_chain():
+    with pytest.raises(IncrementalError):
+        IncrementalTracker.decode_chain([])
+
+
+def test_bad_interval():
+    with pytest.raises(ValueError):
+        IncrementalTracker(full_interval=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(0, 5 * PAGE // 8 - 1), max_size=5),
+                min_size=1, max_size=6))
+def test_incremental_chain_property(mutation_rounds):
+    """Property: decoding the chain always equals the final array state,
+    no matter which elements were dirtied when."""
+    t = IncrementalTracker(full_interval=100)
+    a = np.zeros(5 * PAGE // 8)
+    records = [t.encode({"a": a})]
+    for round_muts in mutation_rounds:
+        for idx in round_muts:
+            a[idx] += 1.0
+        records.append(t.encode({"a": a}))
+    out = IncrementalTracker.decode_chain(records)
+    assert np.array_equal(out["a"], a)

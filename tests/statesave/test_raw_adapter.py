@@ -1,0 +1,80 @@
+"""RawCommAdapter: the original-mode communicator surface."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import DOUBLE
+from repro.statesave.context import Context, RawCommAdapter
+from repro.testutil import run
+
+
+def test_adapter_passthrough_and_identity():
+    def main(mpi):
+        ctx = Context(mpi)
+        assert isinstance(ctx.comm, RawCommAdapter)
+        return (ctx.comm.rank, ctx.comm.size, ctx.rank, ctx.size)
+
+    result = run(3, main)
+    assert result.returns[1] == (1, 3, 1, 3)
+
+
+def test_adapter_wraps_created_communicators():
+    def main(mpi):
+        ctx = Context(mpi)
+        dup = ctx.comm.Dup()
+        split = ctx.comm.Split(color=0, key=ctx.rank)
+        cart = ctx.comm.Cart_create((mpi.size,), (True,))
+        # the protocol-style completion surface must exist on all of them
+        return all(hasattr(c, "Waitall") and hasattr(c, "Wait")
+                   for c in (dup, split, cart))
+
+    assert all(run(2, main).returns)
+
+
+def test_adapter_split_undefined_color():
+    def main(mpi):
+        ctx = Context(mpi)
+        sub = ctx.comm.Split(color=0 if ctx.rank == 0 else -1)
+        return sub is None
+
+    assert run(2, main).returns == [False, True]
+
+
+def test_adapter_wait_family():
+    def main(mpi):
+        ctx = Context(mpi)
+        comm = ctx.comm
+        r, s = ctx.rank, ctx.size
+        bufs = [np.zeros(1), np.zeros(1)]
+        reqs = [comm.Irecv(bufs[i], source=(r - 1) % s, tag=i)
+                for i in range(2)]
+        for i in range(2):
+            comm.Send(np.array([float(i)]), dest=(r + 1) % s, tag=i)
+        idx, st = comm.Waitany(reqs)
+        done, st2 = comm.Test(reqs[1 - idx])
+        if not done:
+            comm.Wait(reqs[1 - idx])
+        return sorted([bufs[0][0], bufs[1][0]])
+
+    assert run(3, main).returns[0] == [0.0, 1.0]
+
+
+def test_adapter_datatype_constructors():
+    def main(mpi):
+        ctx = Context(mpi)
+        vec = ctx.comm.Type_vector(2, 1, 2, DOUBLE)
+        vec.Commit()
+        a = np.arange(4.0)
+        return np.frombuffer(vec.pack(a, 1), dtype=np.float64).tolist()
+
+    assert run(1, main).returns[0] == [0.0, 2.0]
+
+
+def test_adapter_cart_shift():
+    def main(mpi):
+        ctx = Context(mpi)
+        cart = ctx.comm.Cart_create((mpi.size,), (True,))
+        return cart.Shift(0, 1)
+
+    result = run(4, main)
+    assert result.returns[0] == (3, 1)

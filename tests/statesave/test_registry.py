@@ -1,0 +1,109 @@
+"""Variable registry: scopes, registration, snapshot/restore."""
+
+import numpy as np
+import pytest
+
+from repro.statesave.registry import RegistryError, VariableRegistry
+
+
+@pytest.fixture
+def reg():
+    return VariableRegistry()
+
+
+class TestScopes:
+    def test_enter_leave(self, reg):
+        reg.enter_scope("f")
+        assert reg.depth == 2
+        reg.leave_scope()
+        assert reg.depth == 1
+
+    def test_cannot_leave_global(self, reg):
+        with pytest.raises(RegistryError):
+            reg.leave_scope()
+
+    def test_shadowing(self, reg):
+        reg.register("x", 1)
+        reg.enter_scope("f")
+        reg.register("x", 2)
+        assert reg.lookup("x") == 2
+        reg.leave_scope()
+        assert reg.lookup("x") == 1
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, reg):
+        a = np.zeros(4)
+        reg.register("a", a)
+        assert reg.lookup("a") is a
+        assert "a" in reg
+
+    def test_duplicate_in_same_scope(self, reg):
+        reg.register("x", 1)
+        with pytest.raises(RegistryError):
+            reg.register("x", 2)
+
+    def test_unregister(self, reg):
+        reg.register("x", 1)
+        reg.unregister("x")
+        assert "x" not in reg
+        with pytest.raises(RegistryError):
+            reg.unregister("x")
+
+    def test_update_scalar(self, reg):
+        reg.register("n", 1)
+        reg.update("n", 5)
+        assert reg.lookup("n") == 5
+
+    def test_update_unknown(self, reg):
+        with pytest.raises(RegistryError):
+            reg.update("nope", 0)
+
+
+class TestAccounting:
+    def test_live_bytes(self, reg):
+        reg.register("a", np.zeros(100))       # 800 bytes
+        reg.register("n", 3)                   # 16 bytes nominal
+        assert reg.live_bytes == 816
+
+    def test_descriptors(self, reg):
+        reg.register("a", np.zeros((2, 3), dtype=np.float32))
+        reg.enter_scope("f")
+        reg.register("n", 7)
+        descs = {d.name: d for d in reg.descriptors()}
+        assert descs["<globals>:a"].kind == "array"
+        assert descs["<globals>:a"].shape == (2, 3)
+        assert descs["f:n"].kind == "scalar"
+
+
+class TestSnapshotRestore:
+    def test_arrays_restored_in_place(self, reg):
+        a = np.arange(4.0)
+        reg.register("a", a)
+        snap = reg.snapshot()
+        a[:] = 0.0
+        reg.restore(snap)
+        assert np.array_equal(a, np.arange(4.0))  # same object refilled
+
+    def test_scope_structure_must_match(self, reg):
+        reg.register("x", 1)
+        snap = reg.snapshot()
+        reg.enter_scope("extra")
+        with pytest.raises(RegistryError):
+            reg.restore(snap)
+
+    def test_scope_name_must_match(self, reg):
+        reg.enter_scope("f")
+        snap = reg.snapshot()
+        reg.leave_scope()
+        reg.enter_scope("g")
+        with pytest.raises(RegistryError):
+            reg.restore(snap)
+
+    def test_shape_mismatch_rejected(self, reg):
+        a = np.zeros(4)
+        reg.register("a", a)
+        snap = reg.snapshot()
+        snap["scopes"][0]["vars"]["a"] = np.zeros(5)
+        with pytest.raises(RegistryError):
+            reg.restore(snap)

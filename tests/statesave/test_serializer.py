@@ -1,0 +1,134 @@
+"""Checkpoint serialization: binary and portable formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.statesave.serializer import (
+    SerializationError, Serializer, dumps, loads,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 12345678901234567890, -2**70,
+        0.0, 3.14159, float("inf"), 1 + 2j, "", "hello", "ünïcødé",
+        b"", b"\x00\xff" * 10,
+    ])
+    def test_roundtrip(self, value):
+        got = loads(dumps(value))
+        assert got == value
+        assert type(got) is type(value)
+
+    def test_nan(self):
+        got = loads(dumps(float("nan")))
+        assert got != got  # NaN
+
+
+class TestContainers:
+    def test_nested(self):
+        value = {"a": [1, 2, (3, "x")], "b": {"c": b"bytes"},
+                 (1, 2): None, 7: [True]}
+        assert loads(dumps(value)) == value
+
+    def test_list_vs_tuple_preserved(self):
+        assert loads(dumps([1, 2])) == [1, 2]
+        assert loads(dumps((1, 2))) == (1, 2)
+        assert isinstance(loads(dumps((1,))), tuple)
+
+    def test_empty_containers(self):
+        assert loads(dumps([])) == []
+        assert loads(dumps({})) == {}
+        assert loads(dumps(())) == ()
+
+
+class TestArrays:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int32,
+                                       np.int64, np.uint8, np.complex128,
+                                       np.bool_])
+    def test_dtype_roundtrip(self, dtype):
+        a = np.arange(12).astype(dtype).reshape(3, 4)
+        b = loads(dumps(a))
+        assert b.dtype == a.dtype
+        assert np.array_equal(a, b)
+
+    def test_empty_array(self):
+        a = np.zeros((0, 5))
+        b = loads(dumps(a))
+        assert b.shape == (0, 5)
+
+    def test_fortran_order_normalized(self):
+        a = np.asfortranarray(np.arange(6.0).reshape(2, 3))
+        b = loads(dumps(a))
+        assert np.array_equal(a, b)
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(SerializationError):
+            dumps(np.array([object()]))
+
+    def test_portable_format_normalizes_byte_order(self):
+        big = np.arange(4, dtype=">f8")
+        payload = Serializer(portable=True).dumps(big)
+        back = loads(payload)
+        assert np.array_equal(back, big.astype(np.float64))
+        assert back.dtype.byteorder in ("<", "=")
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            loads(b"XXXX\x01\x00\x00")
+
+    def test_truncated(self):
+        with pytest.raises(SerializationError):
+            loads(b"C3")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SerializationError):
+            loads(dumps(1) + b"junk")
+
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError):
+            dumps(object())
+
+    def test_bad_version(self):
+        payload = bytearray(dumps(1))
+        payload[4] = 99
+        with pytest.raises(SerializationError):
+            loads(bytes(payload))
+
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**80, 2**80)
+    | st.floats(allow_nan=False) | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(json_like)
+def test_roundtrip_property(value):
+    assert loads(dumps(value)) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(npst.arrays(
+    dtype=st.sampled_from([np.float64, np.int32, np.uint8, np.complex64]),
+    shape=npst.array_shapes(max_dims=3, max_side=6),
+))
+def test_array_roundtrip_property(a):
+    b = loads(dumps(a))
+    assert b.dtype == a.dtype and b.shape == a.shape
+    assert np.array_equal(a, b, equal_nan=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(json_like)
+def test_portable_and_binary_agree(value):
+    assert (Serializer(portable=True).dumps(value) != b""
+            and loads(Serializer(portable=True).dumps(value))
+            == loads(Serializer(portable=False).dumps(value)))

@@ -1,0 +1,45 @@
+"""Asynchronous drain daemon model."""
+
+import pytest
+
+from repro.mpi.timemodel import TESTING
+from repro.storage.drain import DrainDaemon, DrainReport
+
+
+def test_remote_after_local():
+    d = DrainDaemon(TESTING, drain_streams=2)
+    report = d.drain([0.0, 0.0, 0.1], [1000, 2000, 3000])
+    for local, remote in zip(report.local_done, report.remote_done):
+        assert remote > local
+    assert report.line_durable_at == max(report.remote_done)
+
+
+def test_streams_limit_concurrency():
+    machine = TESTING.with_overrides(remote_disk_bandwidth=1e6,
+                                     disk_latency=0.0,
+                                     disk_bandwidth=1e12)
+    # 4 files of 1 MB each = 1 s of remote work apiece
+    sizes = [1_000_000] * 4
+    serial = DrainDaemon(machine, drain_streams=1).drain([0.0] * 4, sizes)
+    parallel = DrainDaemon(machine, drain_streams=4).drain([0.0] * 4, sizes)
+    assert serial.line_durable_at == pytest.approx(4.0, rel=0.01)
+    assert parallel.line_durable_at == pytest.approx(1.0, rel=0.01)
+
+
+def test_synchronous_penalty_positive_when_remote_slower():
+    machine = TESTING.with_overrides(remote_disk_bandwidth=1e6,
+                                     disk_bandwidth=1e9)
+    report = DrainDaemon(machine).drain([0.0], [10_000_000])
+    assert report.synchronous_penalty > 0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        DrainDaemon(TESTING, drain_streams=0)
+    with pytest.raises(ValueError):
+        DrainDaemon(TESTING).drain([0.0], [1, 2])
+
+
+def test_empty_drain():
+    report = DrainDaemon(TESTING).drain([], [])
+    assert report.line_durable_at == 0.0

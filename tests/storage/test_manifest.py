@@ -1,0 +1,55 @@
+"""Commit manifest and global last-committed-version logic."""
+
+import pytest
+
+from repro.storage import (
+    InMemoryStorage, checkpoint_bytes, commit_path, committed_versions,
+    last_committed_global, last_committed_local, record_commit, section_path,
+)
+
+
+@pytest.fixture
+def store():
+    return InMemoryStorage()
+
+
+def test_paths():
+    assert section_path(3, 1, "app") == "ckpt/v3/rank1/app"
+    assert commit_path(3, 1) == "ckpt/v3/rank1/COMMIT"
+
+
+def test_commit_and_query(store):
+    record_commit(store, 1, 0)
+    record_commit(store, 2, 0)
+    assert committed_versions(store, 0) == [1, 2]
+    assert last_committed_local(store, 0) == 2
+    assert last_committed_local(store, 1) is None
+
+
+def test_global_requires_all_ranks(store):
+    record_commit(store, 1, 0)
+    assert last_committed_global(store, 2) is None
+    record_commit(store, 1, 1)
+    assert last_committed_global(store, 2) == 1
+
+
+def test_global_is_min_of_maxima(store):
+    for v in (1, 2, 3):
+        record_commit(store, v, 0)
+    for v in (1, 2):
+        record_commit(store, v, 1)
+    assert last_committed_global(store, 2) == 2
+
+
+def test_global_with_gap_at_min(store):
+    # rank 0 committed only v2 (v1 lost), rank 1 only v1: no common version
+    record_commit(store, 2, 0)
+    record_commit(store, 1, 1)
+    assert last_committed_global(store, 2) is None
+
+
+def test_checkpoint_bytes_excludes_marker(store):
+    store.write(section_path(1, 0, "app"), b"12345")
+    store.write(section_path(1, 0, "late_registry"), b"678")
+    record_commit(store, 1, 0)
+    assert checkpoint_bytes(store, 1, 0) == 8

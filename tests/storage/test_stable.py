@@ -1,0 +1,74 @@
+"""Storage backends."""
+
+import pytest
+
+from repro.storage.stable import DiskStorage, InMemoryStorage, StorageError
+
+
+@pytest.fixture(params=["memory", "disk"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryStorage()
+    return DiskStorage(str(tmp_path / "store"))
+
+
+class TestBackends:
+    def test_write_read(self, backend):
+        backend.write("a/b/c", b"payload")
+        assert backend.read("a/b/c") == b"payload"
+
+    def test_overwrite(self, backend):
+        backend.write("k", b"v1")
+        backend.write("k", b"v2")
+        assert backend.read("k") == b"v2"
+
+    def test_missing_read(self, backend):
+        with pytest.raises(StorageError):
+            backend.read("nope")
+
+    def test_exists(self, backend):
+        assert not backend.exists("x")
+        backend.write("x", b"")
+        assert backend.exists("x")
+
+    def test_delete(self, backend):
+        backend.write("x", b"1")
+        backend.delete("x")
+        assert not backend.exists("x")
+        with pytest.raises(StorageError):
+            backend.delete("x")
+
+    def test_list_prefix(self, backend):
+        backend.write("ckpt/v1/rank0/app", b"1")
+        backend.write("ckpt/v1/rank1/app", b"2")
+        backend.write("other/file", b"3")
+        assert backend.list("ckpt/v1/") == [
+            "ckpt/v1/rank0/app", "ckpt/v1/rank1/app"]
+        assert len(backend.list()) == 3
+
+    def test_total_bytes(self, backend):
+        backend.write("a", b"123")
+        backend.write("b", b"4567")
+        assert backend.total_bytes() == 7
+
+
+def test_memory_stats():
+    s = InMemoryStorage()
+    s.write("a", b"12")
+    s.write("b", b"345")
+    assert s.write_count == 2
+    assert s.written_bytes == 5
+
+
+def test_disk_path_escape_rejected(tmp_path):
+    s = DiskStorage(str(tmp_path / "root"))
+    with pytest.raises(StorageError):
+        s.write("../evil", b"x")
+    with pytest.raises(StorageError):
+        s.write("/abs", b"x")
+
+
+def test_disk_storage_survives_reopen(tmp_path):
+    root = str(tmp_path / "store")
+    DiskStorage(root).write("k", b"persisted")
+    assert DiskStorage(root).read("k") == b"persisted"
