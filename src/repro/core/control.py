@@ -58,6 +58,11 @@ class ControlPlane:
         """
         n = 0
         while True:
+            # Polled on every intercepted call: the O(1) context check
+            # short-circuits the (wildcard) probe in the common no-traffic
+            # case.
+            if not self.comm.has_pending():
+                return n
             flag, status = self.comm.Iprobe(source=ANY_SOURCE,
                                             tag=TAG_CKPT_INITIATED)
             if not flag:

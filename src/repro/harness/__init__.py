@@ -11,10 +11,16 @@ from .experiments import (
 from .platforms import (
     LEMIEUX_CODES, RESTART_CODES, SIZE_SCALE, TABLE1_CODES, VELOCITY2_CODES,
 )
+from .parallel import Cell, default_workers, run_cells
 from .report import render_table
-from .runner import measure_c3, measure_original, measure_restart
+from .runner import (
+    c3_cell, measure_c3, measure_original, measure_restart, original_cell,
+    restart_cell,
+)
 
 __all__ = [
+    "Cell", "run_cells", "default_workers",
+    "original_cell", "c3_cell", "restart_cell",
     "paperdata",
     "table1_rows", "table2_rows", "table3_rows", "table4_rows",
     "table5_rows", "table6_rows", "table7_rows",

@@ -9,7 +9,7 @@ same rows.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -25,8 +25,12 @@ from .platforms import (
     SIZE_SCALE, TABLE1_CODES, TABLE1_PLATFORMS, VELOCITY2_CODES,
     velocity2_machine_for,
 )
+from .parallel import run_cells
 from .report import render_table
-from .runner import measure_c3, measure_original, measure_restart
+from .runner import (
+    c3_cell, measure_c3, measure_original, measure_restart, original_cell,
+    restart_cell,
+)
 
 # ---------------------------------------------------------------------------
 # Table 1 — checkpoint sizes, Condor vs C3
@@ -100,42 +104,50 @@ def render_table1(rows: List[Dict]) -> str:
 # Tables 2-3 — overhead without checkpoints
 # ---------------------------------------------------------------------------
 
-def _overhead_rows(codes, machine_for, paper_table) -> List[Dict]:
-    rows = []
+def _overhead_rows(codes, machine_for, paper_table,
+                   parallel: Optional[bool] = None) -> List[Dict]:
+    # Every (code, scale point) is two independent simulations; farm the
+    # whole grid to the process pool and assemble rows from the results.
+    specs, cells = [], []
     for cfg in codes:
         paper_rows = paper_table[cfg.label]
         for point, paper in zip(cfg.points, paper_rows):
             machine = machine_for(cfg.app_name)
-            orig = measure_original(cfg.app_name, point.sim_procs, machine,
-                                    point.params)
-            c3 = measure_c3(cfg.app_name, point.sim_procs, machine,
-                            point.params, checkpoints=0)
-            overhead = ((c3.virtual_seconds - orig.virtual_seconds)
-                        / orig.virtual_seconds * 100.0)
-            rows.append({
-                "code": cfg.label,
-                "paper_procs": point.paper_procs,
-                "paper_nodes": point.paper_nodes,
-                "sim_procs": point.sim_procs,
-                "original_s": orig.virtual_seconds,
-                "c3_s": c3.virtual_seconds,
-                "overhead_pct": overhead,
-                "paper_original_s": paper[2], "paper_c3_s": paper[3],
-                "paper_overhead_pct": paper[4],
-            })
+            specs.append((cfg, point, paper))
+            cells.append(original_cell(cfg.app_name, point.sim_procs,
+                                       machine, point.params))
+            cells.append(c3_cell(cfg.app_name, point.sim_procs, machine,
+                                 point.params, checkpoints=0))
+    results = run_cells(cells, parallel=parallel)
+    rows = []
+    for i, (cfg, point, paper) in enumerate(specs):
+        orig, c3 = results[2 * i], results[2 * i + 1]
+        overhead = ((c3.virtual_seconds - orig.virtual_seconds)
+                    / orig.virtual_seconds * 100.0)
+        rows.append({
+            "code": cfg.label,
+            "paper_procs": point.paper_procs,
+            "paper_nodes": point.paper_nodes,
+            "sim_procs": point.sim_procs,
+            "original_s": orig.virtual_seconds,
+            "c3_s": c3.virtual_seconds,
+            "overhead_pct": overhead,
+            "paper_original_s": paper[2], "paper_c3_s": paper[3],
+            "paper_overhead_pct": paper[4],
+        })
     return rows
 
 
-def table2_rows() -> List[Dict]:
+def table2_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Runtime overhead without checkpoints on the Lemieux model."""
     return _overhead_rows(LEMIEUX_CODES, lambda _app: LEMIEUX,
-                          paperdata.TABLE2)
+                          paperdata.TABLE2, parallel=parallel)
 
 
-def table3_rows() -> List[Dict]:
+def table3_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Runtime overhead without checkpoints on the Velocity 2 / CMI models."""
     return _overhead_rows(VELOCITY2_CODES, velocity2_machine_for,
-                          paperdata.TABLE3)
+                          paperdata.TABLE3, parallel=parallel)
 
 
 def render_overhead(title: str, rows: List[Dict]) -> str:
@@ -157,50 +169,62 @@ def render_overhead(title: str, rows: List[Dict]) -> str:
 # Tables 4-5 — overhead with checkpoints (configurations #1/#2/#3)
 # ---------------------------------------------------------------------------
 
-def _checkpoint_rows(codes, machine_for, paper_table) -> List[Dict]:
-    rows = []
+def _checkpoint_rows(codes, machine_for, paper_table,
+                     parallel: Optional[bool] = None) -> List[Dict]:
+    # Two waves: configuration #1 runs give the reference times that
+    # configurations #2/#3 need for their checkpoint intervals; the cells
+    # within each wave are independent and sweep concurrently.
+    specs = []
+    wave1 = []
     for cfg in codes:
         paper_rows = paper_table[cfg.label]
         for point, paper in zip(cfg.points, paper_rows):
             machine = machine_for(cfg.app_name)
-            cfg1 = measure_c3(cfg.app_name, point.sim_procs, machine,
-                              point.params, checkpoints=0)
-            cfg2 = measure_c3(cfg.app_name, point.sim_procs, machine,
-                              point.params, checkpoints=1,
-                              save_to_disk=False,
-                              reference_time=cfg1.virtual_seconds)
-            cfg3 = measure_c3(cfg.app_name, point.sim_procs, machine,
-                              point.params, checkpoints=1, save_to_disk=True,
-                              reference_time=cfg1.virtual_seconds)
-            size_bytes = cfg3.checkpoint_bytes + cfg3.log_bytes
-            rows.append({
-                "code": cfg.label,
-                "paper_procs": point.paper_procs,
-                "paper_nodes": point.paper_nodes,
-                "sim_procs": point.sim_procs,
-                "cfg1_s": cfg1.virtual_seconds,
-                "cfg2_s": cfg2.virtual_seconds,
-                "cfg3_s": cfg3.virtual_seconds,
-                "size_per_proc_mb": size_bytes / 1e6,
-                "cost_s": cfg3.virtual_seconds - cfg1.virtual_seconds,
-                "committed": cfg3.checkpoints_committed,
-                "paper_cfg1_s": paper[2], "paper_cfg2_s": paper[3],
-                "paper_cfg3_s": paper[4],
-                "paper_size_per_proc_mb": paper[5], "paper_cost_s": paper[6],
-            })
+            specs.append((cfg, point, paper, machine))
+            wave1.append(c3_cell(cfg.app_name, point.sim_procs, machine,
+                                 point.params, checkpoints=0))
+    cfg1_results = run_cells(wave1, parallel=parallel)
+    wave2 = []
+    for (cfg, point, paper, machine), cfg1 in zip(specs, cfg1_results):
+        common = dict(checkpoints=1, reference_time=cfg1.virtual_seconds)
+        wave2.append(c3_cell(cfg.app_name, point.sim_procs, machine,
+                             point.params, save_to_disk=False, **common))
+        wave2.append(c3_cell(cfg.app_name, point.sim_procs, machine,
+                             point.params, save_to_disk=True, **common))
+    cfg23_results = run_cells(wave2, parallel=parallel)
+    rows = []
+    for i, ((cfg, point, paper, machine), cfg1) in enumerate(
+            zip(specs, cfg1_results)):
+        cfg2, cfg3 = cfg23_results[2 * i], cfg23_results[2 * i + 1]
+        size_bytes = cfg3.checkpoint_bytes + cfg3.log_bytes
+        rows.append({
+            "code": cfg.label,
+            "paper_procs": point.paper_procs,
+            "paper_nodes": point.paper_nodes,
+            "sim_procs": point.sim_procs,
+            "cfg1_s": cfg1.virtual_seconds,
+            "cfg2_s": cfg2.virtual_seconds,
+            "cfg3_s": cfg3.virtual_seconds,
+            "size_per_proc_mb": size_bytes / 1e6,
+            "cost_s": cfg3.virtual_seconds - cfg1.virtual_seconds,
+            "committed": cfg3.checkpoints_committed,
+            "paper_cfg1_s": paper[2], "paper_cfg2_s": paper[3],
+            "paper_cfg3_s": paper[4],
+            "paper_size_per_proc_mb": paper[5], "paper_cost_s": paper[6],
+        })
     return rows
 
 
-def table4_rows() -> List[Dict]:
+def table4_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Overhead with one checkpoint on the Lemieux model."""
     return _checkpoint_rows(LEMIEUX_CODES, lambda _app: LEMIEUX,
-                            paperdata.TABLE4)
+                            paperdata.TABLE4, parallel=parallel)
 
 
-def table5_rows() -> List[Dict]:
+def table5_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Overhead with one checkpoint on the Velocity 2 / CMI models."""
     return _checkpoint_rows(VELOCITY2_CODES, velocity2_machine_for,
-                            paperdata.TABLE5)
+                            paperdata.TABLE5, parallel=parallel)
 
 
 def render_checkpoint(title: str, rows: List[Dict]) -> str:
@@ -222,10 +246,13 @@ def render_checkpoint(title: str, rows: List[Dict]) -> str:
 # Tables 6-7 — restart cost (uniprocessor)
 # ---------------------------------------------------------------------------
 
-def _restart_rows(machine: MachineModel, paper_table) -> List[Dict]:
+def _restart_rows(machine: MachineModel, paper_table,
+                  parallel: Optional[bool] = None) -> List[Dict]:
+    cells = [restart_cell(app_name, machine, params)
+             for app_name, label, params in RESTART_CODES]
+    measured = run_cells(cells, parallel=parallel)
     rows = []
-    for app_name, label, params in RESTART_CODES:
-        m = measure_restart(app_name, machine, params)
+    for (app_name, label, params), m in zip(RESTART_CODES, measured):
         paper = paper_table[label]
         rows.append({
             "code": label,
@@ -241,14 +268,16 @@ def _restart_rows(machine: MachineModel, paper_table) -> List[Dict]:
     return rows
 
 
-def table6_rows() -> List[Dict]:
+def table6_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Restart costs on the Lemieux model."""
-    return _restart_rows(RESTART_MACHINES["table6"], paperdata.TABLE6)
+    return _restart_rows(RESTART_MACHINES["table6"], paperdata.TABLE6,
+                         parallel=parallel)
 
 
-def table7_rows() -> List[Dict]:
+def table7_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Restart costs on the CMI model."""
-    return _restart_rows(RESTART_MACHINES["table7"], paperdata.TABLE7)
+    return _restart_rows(RESTART_MACHINES["table7"], paperdata.TABLE7,
+                         parallel=parallel)
 
 
 def render_restart(title: str, rows: List[Dict]) -> str:

@@ -1,0 +1,109 @@
+"""Process-pool experiment harness.
+
+The table drivers of :mod:`repro.harness.experiments` measure a grid of
+independent *cells* — (application, platform model, process count,
+configuration) combinations whose runs share no state.  This module farms
+such cells out to a pool of worker processes so a table (or a whole
+benchmark session) sweeps apps x configs concurrently instead of
+simulating one job at a time on one core.
+
+A cell must be *picklable*: a top-level callable plus plain-data keyword
+arguments (app *names* rather than closures, :class:`MachineModel`
+instances, dicts of parameters).  The runner preserves input order, so
+drivers can zip results back against their row descriptions.
+
+Worker count resolution, in priority order:
+
+1. the ``max_workers`` argument,
+2. the ``REPRO_BENCH_WORKERS`` environment variable,
+3. ``os.cpu_count() - 1`` (at least 1).
+
+``REPRO_BENCH_WORKERS=1`` (or ``parallel=False``) forces inline
+execution, which keeps unit tests and debugging single-process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["Cell", "default_workers", "run_cells"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent experiment: ``fn(**kwargs)`` in some worker."""
+
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: free-form identifier carried through for error reporting
+    label: str = ""
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS`` or the CPU count."""
+    env = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BENCH_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _run_cell(cell: Cell) -> Any:
+    try:
+        return cell.fn(**cell.kwargs)
+    except Exception as exc:  # re-raise with the cell identity attached
+        raise RuntimeError(f"experiment cell {cell.label or cell.fn.__name__!r} "
+                           f"failed: {exc}") from exc
+
+
+# One shared pool per process: table drivers submit several waves per
+# session, and worker startup (re-importing numpy + repro) costs far more
+# than a wave, so the executor is reused across run_cells calls.  The
+# interpreter joins the workers at exit (concurrent.futures' own atexit
+# hook).
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def run_cells(cells: Iterable[Cell], max_workers: Optional[int] = None,
+              parallel: Optional[bool] = None) -> List[Any]:
+    """Run every cell and return their results in input order.
+
+    ``parallel=None`` (the default) enables the pool whenever more than
+    one cell and more than one worker are available; ``parallel=False``
+    runs inline in this process.
+    """
+    cells = list(cells)
+    # The pool is sized by the worker budget alone (not by len(cells)):
+    # consecutive calls with different cell counts must keep reusing the
+    # same shared executor instead of rebuilding it per table.
+    workers = max(1, max_workers if max_workers is not None
+                  else default_workers())
+    if parallel is None:
+        parallel = len(cells) > 1 and workers > 1
+    if not parallel or workers == 1 or len(cells) <= 1:
+        return [_run_cell(c) for c in cells]
+    global _pool
+    try:
+        return list(_shared_pool(workers).map(_run_cell, cells))
+    except BrokenProcessPool:
+        _pool = None  # a hard worker crash poisons the pool; drop it
+        raise

@@ -4,6 +4,11 @@ Wraps the three execution modes of the evaluation — original, C3 without
 checkpoints, C3 with one checkpoint (configurations #1/#2/#3 of Tables
 4-5) — plus the restart measurement of Tables 6-7, returning plain
 result records the table drivers assemble into rows.
+
+Every measurement is addressed by *app name* and plain-data parameters,
+so a measurement is also a picklable :class:`~repro.harness.parallel.Cell`
+— the ``*_cell`` builders below wrap the measure functions for the
+process-pool harness that sweeps whole tables concurrently.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from ..core.ccc import run_c3, run_original
 from ..core.protocol import C3Config
 from ..mpi.timemodel import MachineModel
 from ..storage.stable import InMemoryStorage
+from .parallel import Cell
 
 
 @dataclass
@@ -117,3 +123,31 @@ def measure_restart(app_name: str, machine: MachineModel, params: dict,
         "restart_cost": restart_elapsed - tail_after_ckpt,
         "restore_seconds": rstats[0].restore_seconds if rstats[0] else 0.0,
     }
+
+
+# ---------------------------------------------------------------------------
+# Cell builders for the process-pool harness (see repro.harness.parallel).
+# ---------------------------------------------------------------------------
+
+def original_cell(app_name: str, nprocs: int, machine: MachineModel,
+                  params: dict, **kw) -> Cell:
+    """A :func:`measure_original` run as a farmable cell."""
+    return Cell(measure_original, dict(app_name=app_name, nprocs=nprocs,
+                                       machine=machine, params=params, **kw),
+                label=f"original:{app_name}@{nprocs}:{machine.name}")
+
+
+def c3_cell(app_name: str, nprocs: int, machine: MachineModel,
+            params: dict, **kw) -> Cell:
+    """A :func:`measure_c3` run as a farmable cell."""
+    return Cell(measure_c3, dict(app_name=app_name, nprocs=nprocs,
+                                 machine=machine, params=params, **kw),
+                label=f"c3:{app_name}@{nprocs}:{machine.name}")
+
+
+def restart_cell(app_name: str, machine: MachineModel, params: dict,
+                 **kw) -> Cell:
+    """A :func:`measure_restart` run as a farmable cell."""
+    return Cell(measure_restart, dict(app_name=app_name, machine=machine,
+                                      params=params, **kw),
+                label=f"restart:{app_name}:{machine.name}")

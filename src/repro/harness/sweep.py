@@ -25,6 +25,7 @@ from ..core.protocol import C3Config
 from ..mpi.faults import FaultPlan, FaultSpec
 from ..mpi.timemodel import MachineModel, TESTING
 from ..storage.stable import InMemoryStorage
+from .parallel import Cell, run_cells
 
 
 @dataclass
@@ -37,44 +38,67 @@ class SweepPoint:
     total_cost_seconds: float    # recovered - original
 
 
+def _sweep_point(app: Callable, nprocs: int, interval: float,
+                 fail_frac: float, machine: MachineModel,
+                 base_seconds: float) -> SweepPoint:
+    """One interval's measurements (a picklable process-pool cell)."""
+    T = base_seconds
+    config = C3Config(checkpoint_interval=interval)
+    clean, stats = run_c3(app, nprocs, machine=machine,
+                          storage=InMemoryStorage(), config=config)
+    clean.raise_errors()
+    committed = min(s.checkpoints_committed for s in stats if s)
+
+    res = run_fault_tolerant(
+        app, nprocs, machine=machine, storage=InMemoryStorage(),
+        config=config,
+        fault_plan=FaultPlan([FaultSpec(rank=nprocs // 2,
+                                        at_time=T * fail_frac)]))
+    # total virtual work: failed attempt up to the fault + recovery run
+    failed_time = (res.history[0].virtual_time if res.history
+                   else 0.0)
+    total = failed_time + res.job.virtual_time
+    return SweepPoint(
+        interval=interval,
+        failure_free_seconds=clean.virtual_time,
+        overhead_pct=(clean.virtual_time - T) / T * 100.0,
+        checkpoints=committed,
+        recovered_seconds=total,
+        total_cost_seconds=total - T,
+    )
+
+
 def sweep_intervals(app: Callable, nprocs: int,
                     intervals_frac=(0.05, 0.1, 0.2, 0.4, 0.8),
                     fail_frac: float = 0.63,
-                    machine: MachineModel = TESTING) -> Dict:
-    """Measure the cost curve over checkpoint intervals."""
+                    machine: MachineModel = TESTING,
+                    parallel: Optional[bool] = None) -> Dict:
+    """Measure the cost curve over checkpoint intervals.
+
+    The per-interval measurements are independent; with ``parallel`` (or
+    by default when the pool is available and ``app`` is picklable, i.e.
+    a top-level function) they sweep concurrently.
+    """
     base = run_original(app, nprocs, machine=machine)
     base.raise_errors()
     T = base.virtual_time
 
-    points: List[SweepPoint] = []
+    if parallel is None:
+        import pickle
+        try:
+            pickle.dumps(app)
+        except Exception:
+            parallel = False  # closures can't cross the process boundary
+    cells = [Cell(_sweep_point,
+                  dict(app=app, nprocs=nprocs, interval=T * frac,
+                       fail_frac=fail_frac, machine=machine, base_seconds=T),
+                  label=f"sweep:{frac}")
+             for frac in intervals_frac]
+    points: List[SweepPoint] = list(run_cells(cells, parallel=parallel))
     ckpt_cost = None
-    for frac in intervals_frac:
-        interval = T * frac
-        config = C3Config(checkpoint_interval=interval)
-        clean, stats = run_c3(app, nprocs, machine=machine,
-                              storage=InMemoryStorage(), config=config)
-        clean.raise_errors()
-        committed = min(s.checkpoints_committed for s in stats if s)
-        if committed and ckpt_cost is None:
-            ckpt_cost = max(0.0, (clean.virtual_time - T) / committed)
-
-        res = run_fault_tolerant(
-            app, nprocs, machine=machine, storage=InMemoryStorage(),
-            config=config,
-            fault_plan=FaultPlan([FaultSpec(rank=nprocs // 2,
-                                            at_time=T * fail_frac)]))
-        # total virtual work: failed attempt up to the fault + recovery run
-        failed_time = (res.history[0].virtual_time if res.history
-                       else 0.0)
-        total = failed_time + res.job.virtual_time
-        points.append(SweepPoint(
-            interval=interval,
-            failure_free_seconds=clean.virtual_time,
-            overhead_pct=(clean.virtual_time - T) / T * 100.0,
-            checkpoints=committed,
-            recovered_seconds=total,
-            total_cost_seconds=total - T,
-        ))
+    for p in points:
+        if p.checkpoints and ckpt_cost is None:
+            ckpt_cost = max(0.0, (p.failure_free_seconds - T) / p.checkpoints)
 
     mtbf = T * fail_frac  # one failure per run at that point
     young = (math.sqrt(2.0 * ckpt_cost * mtbf)

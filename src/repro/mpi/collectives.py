@@ -22,6 +22,7 @@ import numpy as np
 from .datatypes import from_numpy_dtype
 from .matching import ANY_TAG
 from .ops import Op
+from .requests import wait_all
 
 #: Tag space for collective-internal traffic; each collective call on a
 #: communicator uses a fresh tag so concurrent phases cannot interfere.
@@ -46,6 +47,19 @@ def _send(comm, buf: np.ndarray, dest: int, tag: int) -> None:
 def _recv(comm, buf: np.ndarray, source: int, tag: int) -> None:
     req = comm.Irecv(buf, source=source, tag=tag, context_id=comm.shadow_id)
     req.wait()
+
+
+def _recv_all(comm, bufs_by_source, tag: int) -> None:
+    """Post fully-specified receives for every (source, buf) pair, then
+    complete them with one blocking wait (source order).
+
+    Collective internals always know their peers, so these receives all
+    take the mailbox's exact-signature fast path; batching them turns p-1
+    sleep/wake cycles into one.
+    """
+    reqs = [comm.Irecv(buf, source=source, tag=tag, context_id=comm.shadow_id)
+            for source, buf in bufs_by_source]
+    wait_all(reqs)
 
 
 # --------------------------------------------------------------------------
@@ -118,14 +132,9 @@ def reduce(comm, sendbuf: np.ndarray, recvbuf, op: Op, root: int = 0) -> None:
 def _reduce_ordered(comm, sendbuf, recvbuf, op: Op, root: int, tag: int) -> None:
     size, rank = comm.size, comm.rank
     if rank == root:
-        parts = []
-        tmp = np.empty_like(np.asarray(sendbuf))
-        for r in range(size):
-            if r == rank:
-                parts.append(np.array(sendbuf, copy=True))
-            else:
-                _recv(comm, tmp, r, tag)
-                parts.append(tmp.copy())
+        parts = [np.array(sendbuf, copy=True) if r == rank
+                 else np.empty_like(np.asarray(sendbuf)) for r in range(size)]
+        _recv_all(comm, [(r, parts[r]) for r in range(size) if r != rank], tag)
         acc = parts[0]
         for p in parts[1:]:
             acc = op(acc, p)
@@ -202,14 +211,16 @@ def gatherv(comm, sendbuf: np.ndarray, recvbuf, counts: Sequence[int], root: int
     send = np.ascontiguousarray(sendbuf)
     if rank == root:
         flat = recvbuf.reshape(-1)
+        pieces = []
         offset = 0
         for r in range(size):
             n = int(counts[r])
             if r == rank:
                 flat[offset:offset + n] = send.reshape(-1)[:n]
             else:
-                _recv(comm, flat[offset:offset + n], r, tag)
+                pieces.append((r, flat[offset:offset + n]))
             offset += n
+        _recv_all(comm, pieces, tag)
     else:
         _send(comm, send, root, tag)
 

@@ -205,6 +205,16 @@ class Communicator:
         return st
 
     # ---------------------------------------------------------------- probing
+    def has_pending(self, context_id: Optional[int] = None) -> bool:
+        """O(1): is any unmatched message pending on this communicator?
+
+        Cheaper than :meth:`Iprobe` when polled on a hot path (the C3
+        control plane checks this on every intercepted call).
+        """
+        self._check()
+        cid = self.context_id if context_id is None else context_id
+        return self._ctx.mailbox.has_pending(cid)
+
     def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                context_id: Optional[int] = None) -> Tuple[bool, Optional[Status]]:
         """Non-blocking probe for a matching pending message."""

@@ -42,6 +42,9 @@ class Datatype:
         self.children = children
         self.committed = False
         self.freed = False
+        #: cached (offsets array, dense?) layout — types are immutable once
+        #: constructed, so the byte map never changes
+        self._layout_cache: Tuple[np.ndarray, bool] = None
 
     # -- lifecycle ---------------------------------------------------------
     def Commit(self) -> "Datatype":
@@ -74,30 +77,60 @@ class Datatype:
         raise NotImplementedError
 
     # -- pack / unpack -----------------------------------------------------
+    def _layout(self) -> Tuple[np.ndarray, bool]:
+        """Cached byte map: (per-element offsets, is the layout dense?).
+
+        A *dense* layout (every byte of the extent is payload, in order —
+        all named scalar types, and contiguous compositions of them)
+        packs with a single slice instead of an index gather.
+        """
+        cached = self._layout_cache
+        if cached is None:
+            offs = np.asarray(self.byte_offsets(), dtype=np.intp)
+            dense = (self.extent == self.size and len(offs) == self.size
+                     and bool((offs == np.arange(self.size, dtype=np.intp)).all()))
+            cached = self._layout_cache = (offs, dense)
+        return cached
+
     def pack(self, buffer, count: int = 1) -> bytes:
         """Gather ``count`` elements of this type from ``buffer`` into bytes."""
         self._check_usable_for_pack()
         raw = _as_byte_view(buffer)
-        offs = np.asarray(self.byte_offsets(), dtype=np.intp)
-        out = np.empty(count * len(offs), dtype=np.uint8)
-        for i in range(count):
-            idx = offs + i * self.extent
-            out[i * len(offs):(i + 1) * len(offs)] = raw[idx]
-        return out.tobytes()
+        offs, dense = self._layout()
+        need = count * len(offs)
+        if dense:
+            if raw.size < need:
+                raise InvalidDatatypeError(
+                    f"buffer of {raw.size} bytes too short to pack "
+                    f"{count} x {self.name}"
+                )
+            return raw[:need].tobytes()
+        if count == 1:
+            return raw[offs].tobytes()
+        idx = (np.arange(count, dtype=np.intp)[:, None] * self.extent
+               + offs[None, :]).ravel()
+        return raw[idx].tobytes()
 
     def unpack(self, payload: bytes, buffer, count: int = 1) -> None:
         """Scatter a packed payload into ``buffer`` (inverse of :meth:`pack`)."""
         self._check_usable_for_pack()
         raw = _as_byte_view(buffer)
-        offs = np.asarray(self.byte_offsets(), dtype=np.intp)
+        offs, dense = self._layout()
         src = np.frombuffer(payload, dtype=np.uint8)
-        if len(src) < count * len(offs):
+        need = count * len(offs)
+        if len(src) < need:
             raise InvalidDatatypeError(
                 f"payload of {len(src)} bytes too short for {count} x {self.name}"
             )
-        for i in range(count):
-            idx = offs + i * self.extent
-            raw[idx] = src[i * len(offs):(i + 1) * len(offs)]
+        if dense:
+            raw[:need] = src[:need]
+            return
+        if count == 1:
+            raw[offs] = src[:need]
+            return
+        idx = (np.arange(count, dtype=np.intp)[:, None] * self.extent
+               + offs[None, :]).ravel()
+        raw[idx] = src[:need]
 
     def _check_usable_for_pack(self) -> None:
         # Named types are implicitly committed; derived ones must be.

@@ -9,14 +9,24 @@ return values, final virtual clocks, and traffic statistics into a
 
 Failure semantics: a triggered :class:`ProcessFailure` kills its rank,
 sets the job-wide abort flag, and every other rank unwinds with
-:class:`JobAborted` at its next blocking point — fail-stop detection.
-Any other exception in application code also aborts the job but is
+:class:`JobAborted` at its next MPI operation — call entry, blocking-wait
+wakeup, or non-blocking poll hook — fail-stop detection.  Any other
+exception in application code also aborts the job the same way but is
 recorded (and re-raised by :meth:`JobResult.raise_errors`) so test
 failures surface instead of hanging.
+
+Blocking waits carry no timeout: they are woken precisely by deliveries
+and aborts, ``at_time`` faults are signalled by the
+:class:`VirtualTimeFaultScheduler` the moment any rank's virtual clock
+crosses the threshold, and a per-run wall-clock watchdog timer wakes all
+mailboxes at the deadline so deadlocked jobs still unwind with
+:class:`DeadlockError`.  See DESIGN.md section 2.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import threading
 import time as _time
 import traceback
@@ -24,10 +34,47 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .errors import DeadlockError, JobAborted, ProcessFailure
-from .faults import FaultPlan
+from .faults import FaultPlan, FaultSpec
 from .matching import Mailbox
 from .message import Envelope
 from .timemodel import MachineModel, RankClock, TESTING
+
+
+class VirtualTimeFaultScheduler:
+    """Engine-level scheduler for virtual-time (``at_time``) fault specs.
+
+    The old engine discovered due ``at_time`` faults by re-running
+    ``fault_plan.check`` on every 50 ms timeout wakeup of a blocking wait.
+    This scheduler makes them event-driven: every rank clock watches the
+    earliest scheduled fault time, and when *any* rank's clock crosses it,
+    the due spec is marked on its victim rank and the victim's mailbox is
+    notified — so a blocked victim unwinds promptly instead of the fault
+    being discovered by timeout.
+
+    ``next_time`` is read locklessly on the clock-advance hot path; the
+    heap itself is only mutated under the lock.
+    """
+
+    def __init__(self, engine: "Engine", specs: List[FaultSpec]):
+        self._engine = engine
+        self._lock = threading.Lock()
+        self._heap: List[Tuple[float, int, FaultSpec]] = [
+            (spec.at_time, i, spec) for i, spec in enumerate(specs)
+        ]
+        heapq.heapify(self._heap)
+        self.next_time: float = self._heap[0][0] if self._heap else math.inf
+
+    def clock_crossed(self, now: float) -> None:
+        """A rank clock reached ``now``: mark every spec due by then."""
+        due: List[FaultSpec] = []
+        with self._lock:
+            while self._heap and self._heap[0][0] <= now:
+                due.append(heapq.heappop(self._heap)[2])
+            self.next_time = self._heap[0][0] if self._heap else math.inf
+        for spec in due:
+            contexts = self._engine.rank_contexts
+            if 0 <= spec.rank < len(contexts):
+                contexts[spec.rank].set_due_fault(spec)
 
 
 class RankContext:
@@ -46,20 +93,57 @@ class RankContext:
         #: sequence numbers, attached buffers, ...)
         self.scratch: Dict[Any, Any] = {}
         self._send_seq: Dict[Tuple[int, int], int] = {}
+        #: set by the virtual-time fault scheduler (possibly from another
+        #: rank's thread); consumed by this rank at its next check point
+        self._due_fault: Optional[FaultSpec] = None
 
     # -- hooks charged on every MPI call ------------------------------------
     def enter_mpi_call(self) -> None:
         """Account one MPI operation: overhead charge + fault check + abort check."""
-        if self.engine.abort_event.is_set() and self.engine.failure is not None:
+        if self.engine.abort_event.is_set():
+            # Any abort unwinds at call entry — fail-stop faults and
+            # error-triggered aborts alike (wait_for already unwinds on
+            # both; entry must agree or error aborts leak past it).
             raise JobAborted()
         self.op_count += 1
         self.clock.advance(self.machine.call_overhead)
+        self.raise_due_fault()
         self.engine.fault_plan.check(self.rank, self.op_count, self.clock.now)
 
     def poll_hook(self) -> None:
-        """Runs on every wakeup of a blocking wait (fault + watchdog checks)."""
+        """Abort/fault/watchdog observation point.
+
+        Runs on every wakeup of a blocking wait and on every intercepted
+        C3 call.  Checking the abort flag here is what unwinds ranks stuck
+        in non-blocking poll loops (Test/Iprobe spinning): those paths
+        never reach :meth:`enter_mpi_call`, and before this check a rank
+        whose peer died mid-exchange would spin until the wall watchdog.
+        Inside :meth:`Mailbox.wait_for` the predicate is evaluated before
+        this hook, so an operation whose match already arrived still
+        completes.
+        """
+        if self.engine.abort_event.is_set():
+            raise JobAborted()
         self.engine.check_deadline()
-        self.engine.fault_plan.check(self.rank, self.op_count, self.clock.now)
+        self.raise_due_fault()
+
+    # -- virtual-time fault delivery -----------------------------------------
+    def set_due_fault(self, spec: FaultSpec) -> None:
+        """Mark a scheduled fault due and wake this rank if it is blocked."""
+        self._due_fault = spec
+        self.mailbox.notify()
+
+    def raise_due_fault(self) -> None:
+        """Raise the pending scheduled fault, if any (on this rank's thread)."""
+        spec = self._due_fault
+        if spec is None:
+            return
+        self._due_fault = None
+        fired = self.engine.fault_plan.fired
+        if spec in fired:
+            return
+        fired.append(spec)
+        raise ProcessFailure(self.rank, self.clock.now, spec.reason)
 
     # -- envelope transmission ----------------------------------------------
     def post_envelope(self, env: Envelope) -> None:
@@ -135,6 +219,7 @@ class Engine:
         self._wall_timeout = wall_timeout
         self._deadline = 0.0
         self.rank_contexts: List[RankContext] = []
+        self.fault_scheduler: Optional[VirtualTimeFaultScheduler] = None
 
     # -- communicator context ids ------------------------------------------
     def context_for(self, key) -> Tuple[int, int]:
@@ -149,7 +234,28 @@ class Engine:
                 self._next_cid += 2
             return self._ctx_registry[key]
 
+    # -- virtual-time fault scheduling ---------------------------------------
+    def _arm_fault_scheduler(self) -> None:
+        """Attach a scheduler for unfired ``at_time`` specs to every clock."""
+        time_specs = [
+            spec
+            for specs in self.fault_plan.specs.values()
+            for spec in specs
+            if spec.at_time is not None and spec not in self.fault_plan.fired
+        ]
+        if not time_specs:
+            self.fault_scheduler = None
+            return
+        self.fault_scheduler = VirtualTimeFaultScheduler(self, time_specs)
+        for ctx in self.rank_contexts:
+            ctx.clock.watch(self.fault_scheduler)
+
     # -- watchdog -------------------------------------------------------------
+    def _on_wall_deadline(self) -> None:
+        """Timer callback: wake all blocked ranks so they see the deadline."""
+        for mb in self.mailboxes:
+            mb.notify()
+
     def check_deadline(self) -> None:
         if self._deadline and _time.monotonic() > self._deadline:
             if not self.abort_event.is_set():
@@ -175,6 +281,7 @@ class Engine:
         timeout = wall_timeout if wall_timeout is not None else self._wall_timeout
         self._deadline = _time.monotonic() + timeout
         self.rank_contexts = [RankContext(self, r) for r in range(self.nprocs)]
+        self._arm_fault_scheduler()
         returns: List[Any] = [None] * self.nprocs
         errors: List[Tuple[int, str]] = []
         errors_lock = threading.Lock()
@@ -208,14 +315,27 @@ class Engine:
                                     name=f"rank-{r}")
                    for r in range(self.nprocs)]
         try:
-            threading.stack_size(old_stack)
-        except (ValueError, RuntimeError):  # pragma: no cover
-            pass
-        for t in threads:
-            t.start()
-        for t in threads:
-            # Join with a margin beyond the deadlock watchdog.
-            t.join(timeout + 30.0)
+            # Stack size takes effect when a thread *starts*, so the old
+            # value may only be restored after the start loop.
+            for t in threads:
+                t.start()
+        finally:
+            try:
+                threading.stack_size(old_stack)
+            except (ValueError, RuntimeError):  # pragma: no cover
+                pass
+        # Blocking waits have no timeout; a wall-clock watchdog wakes every
+        # mailbox at the deadline so blocked ranks observe the deadline
+        # (check_deadline) and unwind with DeadlockError.
+        watchdog = threading.Timer(timeout + 0.05, self._on_wall_deadline)
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            for t in threads:
+                # Join with a margin beyond the deadlock watchdog.
+                t.join(timeout + 30.0)
+        finally:
+            watchdog.cancel()
         wall = _time.monotonic() - t0
 
         if any(t.is_alive() for t in threads):  # pragma: no cover - watchdog

@@ -1,32 +1,48 @@
 """Per-rank mailbox with MPI matching semantics.
 
-The mailbox owns two queues:
+The mailbox owns two collections, both indexed by the full match
+signature ``(context_id, source, tag)`` so the hot paths are O(1)
+amortized instead of linear scans:
 
-* ``pending`` — envelopes that have arrived but not yet matched a receive,
-  kept in arrival order (= per-source send order, which is what gives MPI
-  its per-signature non-overtaking guarantee);
-* ``posted`` — receives that have been posted but not yet matched, kept in
-  post order (MPI matches the *earliest* posted receive that fits).
+* ``pending`` — envelopes that have arrived but not yet matched a
+  receive, bucketed by signature.  Each bucket keeps arrival order (=
+  per-source send order, which is what gives MPI its per-signature
+  non-overtaking guarantee), and every envelope carries a mailbox-wide
+  arrival stamp so wildcard receives can select the *oldest* matching
+  envelope across buckets — exactly the order a linear arrival-ordered
+  scan would produce;
+* ``posted`` — receives that have been posted but not yet matched.
+  Fully-specified receives are bucketed by signature; receives with
+  ``ANY_SOURCE`` / ``ANY_TAG`` wildcards go to a (short) overflow list.
+  Both sides keep post order, and a mailbox-wide post stamp arbitrates
+  between an exact bucket head and a wildcard candidate, preserving
+  MPI's earliest-posted-receive-wins rule.
 
-Matching compares ``(context_id, source, tag)`` with ``ANY_SOURCE`` /
-``ANY_TAG`` wildcards.  Messages with different signatures may be consumed
-in any order the application chooses — the property Section 2.4 of the
-paper calls out as breaking Chandy-Lamport's FIFO assumption.
+Messages with different signatures may be consumed in any order the
+application chooses — the property Section 2.4 of the paper calls out as
+breaking Chandy-Lamport's FIFO assumption.
 
-All mailbox state is protected by a single condition variable; blocking
-operations wait on it and are woken by deliveries or by a job abort.
+All mailbox state is protected by a single condition variable.  Blocking
+operations wait on it *indefinitely* — there is no timeout poll — and
+are woken precisely by deliveries, job aborts, the engine's virtual-time
+fault scheduler, and the wall-clock watchdog (see
+:mod:`repro.mpi.engine`).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .errors import JobAborted, TruncationError
 from .message import Envelope
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+#: a pending-bucket key / posted-bucket key
+Signature = Tuple[int, int, int]
 
 
 def signature_matches(env: Envelope, context_id: int, source: int, tag: int) -> bool:
@@ -45,7 +61,7 @@ class PostedRecv:
 
     __slots__ = (
         "context_id", "source", "tag", "max_bytes", "envelope", "matched",
-        "on_match", "cancelled",
+        "on_match", "cancelled", "post_seq",
     )
 
     def __init__(self, context_id: int, source: int, tag: int, max_bytes: int,
@@ -58,6 +74,12 @@ class PostedRecv:
         self.matched = False
         self.cancelled = False
         self.on_match = on_match
+        #: mailbox-wide post order; assigned when queued unmatched
+        self.post_seq = -1
+
+    @property
+    def wildcard(self) -> bool:
+        return self.source == ANY_SOURCE or self.tag == ANY_TAG
 
     def accepts(self, env: Envelope) -> bool:
         return not self.matched and not self.cancelled and signature_matches(
@@ -83,8 +105,17 @@ class Mailbox:
         self.rank = rank
         self._abort = abort_event
         self._cond = threading.Condition()
-        self._pending: List[Envelope] = []
-        self._posted: List[PostedRecv] = []
+        #: signature -> deque of (arrival stamp, envelope), arrival order
+        self._pending: Dict[Signature, Deque[Tuple[int, Envelope]]] = {}
+        self._arrival_seq = 0
+        self._pending_total = 0
+        self._pending_by_ctx: Dict[int, int] = {}
+        #: signature -> deque of fully-specified receives, post order
+        self._posted_exact: Dict[Signature, Deque[PostedRecv]] = {}
+        #: wildcard receives, post order (the overflow list)
+        self._posted_wild: List[PostedRecv] = []
+        self._post_seq = 0
+        self._posted_total = 0
         #: statistics, read by the harness
         self.delivered_count = 0
         self.delivered_bytes = 0
@@ -95,26 +126,101 @@ class Mailbox:
         with self._cond:
             self.delivered_count += 1
             self.delivered_bytes += env.nbytes
-            for pr in self._posted:
-                if pr.accepts(env):
-                    self._posted.remove(pr)
-                    pr._match(env)
-                    self._cond.notify_all()
-                    return
-            self._pending.append(env)
+            pr = self._take_posted(env)
+            if pr is not None:
+                pr._match(env)
+                self._cond.notify_all()
+                return
+            key = (env.context_id, env.source, env.tag)
+            bucket = self._pending.get(key)
+            if bucket is None:
+                bucket = self._pending[key] = deque()
+            bucket.append((self._arrival_seq, env))
+            self._arrival_seq += 1
+            self._pending_total += 1
+            ctx = env.context_id
+            self._pending_by_ctx[ctx] = self._pending_by_ctx.get(ctx, 0) + 1
             self._cond.notify_all()
+
+    def _take_posted(self, env: Envelope) -> Optional[PostedRecv]:
+        """Pop the earliest-posted receive accepting ``env``, if any."""
+        key = (env.context_id, env.source, env.tag)
+        bucket = self._posted_exact.get(key)
+        exact = bucket[0] if bucket else None
+        wild: Optional[PostedRecv] = None
+        if self._posted_wild:
+            for pr in self._posted_wild:
+                if pr.accepts(env):
+                    wild = pr
+                    break
+        if exact is None and wild is None:
+            return None
+        if wild is None or (exact is not None and exact.post_seq < wild.post_seq):
+            bucket.popleft()
+            if not bucket:
+                del self._posted_exact[key]
+            self._posted_total -= 1
+            return exact
+        self._posted_wild.remove(wild)
+        self._posted_total -= 1
+        return wild
 
     # -- posting receives ----------------------------------------------------
     def post(self, pr: PostedRecv) -> None:
         """Post a receive; matches the oldest pending envelope if one fits."""
         with self._cond:
-            for env in self._pending:
-                if pr.accepts(env):
-                    self._pending.remove(env)
-                    pr._match(env)
-                    self._cond.notify_all()
-                    return
-            self._posted.append(pr)
+            key = self._oldest_pending_key(pr.context_id, pr.source, pr.tag)
+            if key is not None:
+                env = self._pop_pending(key)
+                pr._match(env)
+                self._cond.notify_all()
+                return
+            pr.post_seq = self._post_seq
+            self._post_seq += 1
+            if pr.wildcard:
+                self._posted_wild.append(pr)
+            else:
+                sig = (pr.context_id, pr.source, pr.tag)
+                bucket = self._posted_exact.get(sig)
+                if bucket is None:
+                    bucket = self._posted_exact[sig] = deque()
+                bucket.append(pr)
+            self._posted_total += 1
+
+    def _oldest_pending_key(self, context_id: int, source: int,
+                            tag: int) -> Optional[Signature]:
+        """Bucket holding the oldest pending envelope matching the triple."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (context_id, source, tag)
+            return key if self._pending.get(key) else None
+        if not self._pending_by_ctx.get(context_id):
+            return None
+        best_key: Optional[Signature] = None
+        best_arrival = -1
+        for key, bucket in self._pending.items():
+            if key[0] != context_id:
+                continue
+            if source != ANY_SOURCE and key[1] != source:
+                continue
+            if tag != ANY_TAG and key[2] != tag:
+                continue
+            arrival = bucket[0][0]
+            if best_key is None or arrival < best_arrival:
+                best_key, best_arrival = key, arrival
+        return best_key
+
+    def _pop_pending(self, key: Signature) -> Envelope:
+        bucket = self._pending[key]
+        _, env = bucket.popleft()
+        if not bucket:
+            del self._pending[key]
+        self._pending_total -= 1
+        remaining = self._pending_by_ctx[key[0]] - 1
+        if remaining:
+            self._pending_by_ctx[key[0]] = remaining
+        else:
+            del self._pending_by_ctx[key[0]]
+        return env
 
     def cancel(self, pr: PostedRecv) -> bool:
         """Cancel a posted receive; returns False if it already matched."""
@@ -122,49 +228,71 @@ class Mailbox:
             if pr.matched:
                 return False
             pr.cancelled = True
-            if pr in self._posted:
-                self._posted.remove(pr)
+            if pr.wildcard:
+                if pr in self._posted_wild:
+                    self._posted_wild.remove(pr)
+                    self._posted_total -= 1
+            else:
+                sig = (pr.context_id, pr.source, pr.tag)
+                bucket = self._posted_exact.get(sig)
+                if bucket is not None and pr in bucket:
+                    bucket.remove(pr)
+                    if not bucket:
+                        del self._posted_exact[sig]
+                    self._posted_total -= 1
             return True
 
     # -- waiting --------------------------------------------------------------
     def wait_for(self, predicate: Callable[[], bool], poll: Optional[Callable[[], None]] = None) -> None:
         """Block until ``predicate()`` is true or the job aborts.
 
-        ``poll`` (if given) runs on every wakeup — the engine uses it for
-        fault triggers that fire at a virtual time.
+        The predicate is checked *before* the abort flag so an operation
+        whose match has already arrived completes instead of being
+        retroactively reported as aborted.
+
+        There is no timeout: the wait is woken precisely by deliveries
+        into this mailbox, by :meth:`notify` (job abort, due virtual-time
+        faults, the wall-clock watchdog).  ``poll`` (if given) runs on
+        every wakeup — the engine uses it to raise due faults and
+        deadline errors inside the blocked rank's own thread.
         """
         with self._cond:
             while True:
-                if self._abort.is_set():
-                    raise JobAborted()
                 if predicate():
                     return
+                if self._abort.is_set():
+                    raise JobAborted()
                 if poll is not None:
                     poll()
                     if predicate():
                         return
-                self._cond.wait(timeout=0.05)
+                self._cond.wait()
 
     def notify(self) -> None:
-        """Wake any thread blocked on this mailbox (used on job abort)."""
+        """Wake any thread blocked on this mailbox (abort, fault, watchdog)."""
         with self._cond:
             self._cond.notify_all()
 
     # -- probing ---------------------------------------------------------------
     def probe_pending(self, context_id: int, source: int, tag: int) -> Optional[Envelope]:
-        """First pending envelope matching the triple, without removing it."""
+        """Oldest pending envelope matching the triple, without removing it."""
         with self._cond:
-            for env in self._pending:
-                if signature_matches(env, context_id, source, tag):
-                    return env
-            return None
+            key = self._oldest_pending_key(context_id, source, tag)
+            if key is None:
+                return None
+            return self._pending[key][0][1]
+
+    def has_pending(self, context_id: int) -> bool:
+        """O(1): is any envelope pending on this context?"""
+        with self._cond:
+            return bool(self._pending_by_ctx.get(context_id))
 
     def pending_count(self, context_id: Optional[int] = None) -> int:
         with self._cond:
             if context_id is None:
-                return len(self._pending)
-            return sum(1 for e in self._pending if e.context_id == context_id)
+                return self._pending_total
+            return self._pending_by_ctx.get(context_id, 0)
 
     def posted_count(self) -> int:
         with self._cond:
-            return len(self._posted)
+            return self._posted_total

@@ -76,24 +76,42 @@ class MachineModel:
 
 
 class RankClock:
-    """Per-rank virtual clock.  Monotone non-decreasing."""
+    """Per-rank virtual clock.  Monotone non-decreasing.
 
-    __slots__ = ("now",)
+    A clock may *watch* the engine's virtual-time fault scheduler: when an
+    advance crosses the scheduler's earliest pending fault time, the
+    scheduler is told immediately, so faults scheduled at a virtual time
+    are signalled the moment any rank's clock crosses the threshold
+    instead of being discovered by a timeout poll.
+    """
+
+    __slots__ = ("now", "_watch")
 
     def __init__(self, start: float = 0.0):
         self.now = float(start)
+        self._watch = None
+
+    def watch(self, scheduler) -> None:
+        """Report crossings of ``scheduler.next_time`` to the scheduler."""
+        self._watch = scheduler
 
     def advance(self, dt: float) -> float:
         """Charge ``dt`` seconds of local work; returns the new time."""
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
         self.now += dt
+        watch = self._watch
+        if watch is not None and self.now >= watch.next_time:
+            watch.clock_crossed(self.now)
         return self.now
 
     def sync_to(self, t: float) -> float:
         """Wait until virtual time ``t`` (no-op if already past)."""
         if t > self.now:
             self.now = t
+            watch = self._watch
+            if watch is not None and self.now >= watch.next_time:
+                watch.clock_crossed(self.now)
         return self.now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -36,9 +36,14 @@ class TestThreeBitCodec:
     @pytest.mark.parametrize("delta", [-1, 0, 1])
     def test_roundtrip_within_one_line(self, receiver, delta):
         sender = receiver + delta
-        if sender < 0:
-            pytest.skip("no epoch -1")
         c = ThreeBitCodec()
+        if sender < 0:
+            # Epoch -1 does not exist: no valid sender can be one line
+            # behind a receiver in epoch 0, so its color (the one that
+            # would decode to -1) must be rejected, not resolved.
+            with pytest.raises(ProtocolError):
+                c.decode(c.encode(sender, True), receiver)
+            return
         pb = c.decode(c.encode(sender, True), receiver)
         assert pb.sender_epoch == sender
         assert pb.stopped_logging
@@ -73,11 +78,14 @@ def test_codec_registry():
        stopped=st.booleans())
 def test_three_bit_codec_roundtrip_property(receiver, delta, stopped):
     """Property: the 2-bit color uniquely identifies the sender epoch
-    whenever |sender - receiver| <= 1 (the paper's Section 3.2 argument)."""
+    whenever |sender - receiver| <= 1 (the paper's Section 3.2 argument);
+    a color with no sender epoch in that window is a protocol violation."""
     sender = receiver + delta
-    if sender < 0:
-        return
     c = ThreeBitCodec()
+    if sender < 0:
+        with pytest.raises(ProtocolError):
+            c.decode(c.encode(sender, stopped), receiver)
+        return
     pb = c.decode(c.encode(sender, stopped), receiver)
     assert pb.sender_epoch == sender
     assert pb.stopped_logging == stopped

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.harness import paperdata, render_table
+from repro.harness.parallel import Cell, default_workers, run_cells
 from repro.harness.platforms import (
     LEMIEUX_CODES, RESTART_CODES, TABLE1_CODES, VELOCITY2_CODES,
 )
 from repro.harness.report import fmt
-from repro.harness.runner import measure_c3, measure_original, measure_restart
+from repro.harness.runner import (
+    c3_cell, measure_c3, measure_original, measure_restart, original_cell,
+)
 from repro.mpi.timemodel import TESTING
 
 
@@ -89,3 +92,35 @@ class TestRunners:
         assert out["original_seconds"] > 0
         assert out["restart_run_seconds"] > 0
         assert out["restore_seconds"] > 0
+
+
+class TestParallelHarness:
+    PARAMS = dict(payload=8, niter=4, work=1e-5)
+
+    def _cells(self):
+        return [original_cell("ring", 2, TESTING, self.PARAMS),
+                c3_cell("ring", 2, TESTING, self.PARAMS, checkpoints=0)]
+
+    def test_inline_matches_direct_measurement(self):
+        inline = run_cells(self._cells(), parallel=False)
+        direct = measure_original("ring", 2, TESTING, self.PARAMS)
+        assert inline[0].virtual_seconds == direct.virtual_seconds
+        assert inline[1].virtual_seconds >= inline[0].virtual_seconds
+
+    def test_pool_results_match_inline_in_order(self):
+        cells = self._cells() + self._cells()
+        inline = run_cells(cells, parallel=False)
+        pooled = run_cells(cells, parallel=True, max_workers=2)
+        assert [r.virtual_seconds for r in pooled] == \
+            [r.virtual_seconds for r in inline]
+
+    def test_cell_failure_is_attributed(self):
+        bad = Cell(measure_original,
+                   dict(app_name="no-such-app", nprocs=1, machine=TESTING,
+                        params={}), label="bad-cell")
+        with pytest.raises(RuntimeError, match="bad-cell"):
+            run_cells([bad], parallel=False)
+
+    def test_worker_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+        assert default_workers() == 3

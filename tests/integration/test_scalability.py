@@ -10,7 +10,7 @@ import pytest
 
 from repro.apps import APPS
 from repro.core import C3Config, run_c3, run_fault_tolerant, run_original
-from repro.mpi import FaultPlan, FaultSpec
+from repro.mpi import FaultPlan, FaultSpec, run_job
 from repro.storage import InMemoryStorage
 
 
@@ -39,6 +39,45 @@ def test_checkpoint_commits_at_16_ranks():
     # all 16 ranks committed the same set of lines
     from repro.storage import last_committed_global
     assert last_committed_global(storage, 16) >= 1
+
+
+def test_ring_exchange_smoke_64_ranks():
+    """64-rank smoke: ring shifts + a wildcard exchange phase stay correct
+    under the signature-indexed mailbox at a width the timeout-polling
+    engine could not reach practically."""
+    nprocs = 64
+
+    def main(mpi):
+        comm = mpi.COMM_WORLD
+        rank, size = mpi.rank, mpi.size
+        right, left = (rank + 1) % size, (rank - 1) % size
+        token = np.array([float(rank)])
+        recv = np.zeros(1)
+        total = 0.0
+        # three ring shifts on the exact-signature fast path
+        for step in range(3):
+            comm.Send(token, dest=right, tag=step)
+            comm.Recv(recv, source=left, tag=step)
+            total += float(recv[0])
+            token = recv.copy()
+        # wildcard exchange phase: everyone reports to rank 0
+        if rank == 0:
+            inbox = np.zeros(1)
+            seen = set()
+            for _ in range(size - 1):
+                st = comm.Recv(inbox, source=mpi.ANY_SOURCE, tag=99)
+                seen.add(st.source)
+            assert seen == set(range(1, size))
+        else:
+            comm.Send(np.array([float(rank)]), dest=0, tag=99)
+        out = np.zeros(1)
+        comm.Allreduce(np.array([total]), out, mpi.SUM)
+        return float(out[0])
+
+    result = run_job(nprocs, main, wall_timeout=120)
+    result.raise_errors()
+    assert result.failure is None
+    assert len(set(result.returns)) == 1  # allreduce agreed everywhere
 
 
 def test_control_messages_scale_linearly_per_checkpoint():

@@ -1,5 +1,7 @@
 """Engine behavior: results, virtual time, faults, deadlock watchdog."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -162,6 +164,112 @@ class TestFaults:
 
         first = run_job(2, main, fault_plan=plan, wall_timeout=30)
         assert first.failure is not None
+        second = run_job(2, main, fault_plan=plan, wall_timeout=30)
+        assert second.failure is None
+        assert second.returns == ["ok", "ok"]
+
+
+class TestRankStacks:
+    def test_stack_size_restored_only_after_threads_start(self, monkeypatch):
+        """Regression: ``threading.stack_size`` takes effect at thread
+        *start*; restoring the old value before the start loop silently
+        reverted the intended 1 MiB rank stacks."""
+        events = []
+        real_stack_size = threading.stack_size
+
+        def recording_stack_size(*args):
+            events.append(("stack_size", args))
+            return real_stack_size(*args)
+
+        real_start = threading.Thread.start
+
+        def recording_start(self):
+            if self.name.startswith("rank-"):
+                events.append(("start", self.name))
+            return real_start(self)
+
+        monkeypatch.setattr(threading, "stack_size", recording_stack_size)
+        monkeypatch.setattr(threading.Thread, "start", recording_start)
+        result = run_job(2, lambda mpi: mpi.rank, wall_timeout=30)
+        assert result.returns == [0, 1]
+
+        set_idx = next(i for i, (kind, a) in enumerate(events)
+                       if kind == "stack_size" and a == (1 << 20,))
+        restore_idx = next(i for i in range(set_idx + 1, len(events))
+                           if events[i][0] == "stack_size"
+                           and events[i][1] != (1 << 20,))
+        start_idxs = [i for i, (kind, _) in enumerate(events) if kind == "start"]
+        assert len(start_idxs) == 2
+        # 1 MiB applied before every rank start; restored only afterwards
+        assert set_idx < min(start_idxs)
+        assert restore_idx > max(start_idxs)
+
+
+class TestAbortUnification:
+    def test_error_abort_unwinds_peers_at_call_entry(self):
+        """Regression: error-triggered aborts (failure is None) must unwind
+        ranks at MPI call entry just like fault-triggered ones."""
+        def main(mpi):
+            if mpi.rank == 1:
+                raise ValueError("boom")
+            assert mpi._ctx.engine.abort_event.wait(timeout=30)
+            mpi.COMM_WORLD.Send(np.zeros(1), dest=0, tag=0)
+            return "survived"
+
+        result = run_job(2, main, wall_timeout=60)
+        assert result.errors and result.errors[0][0] == 1
+        assert result.returns[0] is None  # unwound, did not outlive the abort
+
+    def test_abort_unwinds_nonblocking_test_poll_loop(self):
+        """Regression: a rank spinning on MPI_Test never reaches a blocking
+        wait; the abort must still unwind it (via the C3-style poll hook)."""
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 1:
+                raise ValueError("boom")
+            req = comm.Irecv(np.zeros(1), source=1, tag=0)
+            while True:
+                mpi._ctx.poll_hook()
+                done, _ = req.test()
+                if done:  # pragma: no cover - the sender died
+                    return "got it"
+
+        result = run_job(2, main, wall_timeout=60)
+        assert result.errors and result.errors[0][0] == 1
+        assert result.returns[0] is None
+
+
+class TestVirtualTimeFaultScheduler:
+    def test_blocked_victim_is_woken_by_peer_clock_crossing(self):
+        """A rank blocked in a receive is killed promptly once any rank's
+        virtual clock crosses the fault time — event-driven, not by poll."""
+        plan = FaultPlan([FaultSpec(rank=0, at_time=1.0)])
+
+        def main(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                # Blocks forever; clock stays at ~0 < at_time.
+                comm.Recv(np.zeros(1), source=1, tag=0)
+                return "received"
+            mpi.compute(2.0)  # crosses the fault time on rank 1's clock
+            return "computed"
+
+        result = run_job(2, main, fault_plan=plan, wall_timeout=20)
+        assert result.failure is not None
+        assert result.failure.rank == 0
+        # wall time proves event-driven delivery (no 300 s deadline wait)
+        assert result.wall_seconds < 10.0
+
+    def test_fired_at_time_specs_not_rearmed_on_restart(self):
+        plan = FaultPlan([FaultSpec(rank=0, at_time=0.1)])
+
+        def main(mpi):
+            mpi.compute(0.5)
+            mpi.COMM_WORLD.Barrier()
+            return "ok"
+
+        first = run_job(2, main, fault_plan=plan, wall_timeout=30)
+        assert first.failure is not None and first.failure.rank == 0
         second = run_job(2, main, fault_plan=plan, wall_timeout=30)
         assert second.failure is None
         assert second.returns == ["ok", "ok"]

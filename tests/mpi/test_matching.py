@@ -121,12 +121,116 @@ class TestMailbox:
         with pytest.raises(JobAborted):
             mb.wait_for(lambda: False)
 
+    def test_abort_after_delivery_still_completes(self):
+        # Regression: the predicate must be checked before the abort flag,
+        # or an operation whose match already arrived is retroactively
+        # reported as JobAborted.
+        abort = threading.Event()
+        mb = Mailbox(0, abort)
+        pr = PostedRecv(0, 0, 0, 100)
+        mb.post(pr)
+        mb.deliver(env(0, 0, 0, b"data"))
+        abort.set()
+        mb.wait_for(lambda: pr.matched)  # must NOT raise JobAborted
+        assert pr.envelope.payload == b"data"
+
+    def test_delivery_wakes_blocked_waiter_without_timeout(self):
+        # The wait has no timeout poll: a delivery must wake it directly.
+        mb = mailbox()
+        pr = PostedRecv(0, 0, 0, 100)
+        mb.post(pr)
+        t = threading.Thread(target=mb.wait_for, args=(lambda: pr.matched,))
+        t.start()
+        mb.deliver(env(0, 0, 0))
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+
     def test_stats(self):
         mb = mailbox()
         mb.deliver(env(payload=b"abcd"))
         mb.deliver(env(payload=b"ef"))
         assert mb.delivered_count == 2
         assert mb.delivered_bytes == 6
+
+
+class TestWildcardOrdering:
+    """Ordering guarantees of the signature-indexed mailbox: wildcard
+    receives observe exactly the order a linear arrival-order scan gives."""
+
+    def test_wildcard_recv_takes_oldest_across_signatures(self):
+        mb = mailbox()
+        mb.deliver(env(2, 9, 0, b"first"))
+        mb.deliver(env(1, 3, 0, b"second"))
+        pr = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        mb.post(pr)
+        assert pr.envelope.payload == b"first"
+        pr2 = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        mb.post(pr2)
+        assert pr2.envelope.payload == b"second"
+
+    def test_source_wildcard_respects_arrival_order_per_tag(self):
+        mb = mailbox()
+        mb.deliver(env(3, 7, 0, b"a"))
+        mb.deliver(env(1, 7, 0, b"b"))
+        mb.deliver(env(3, 8, 0, b"other-tag"))
+        pr = PostedRecv(0, ANY_SOURCE, 7, 100)
+        mb.post(pr)
+        assert pr.envelope.payload == b"a"
+        assert pr.envelope.source == 3
+
+    def test_exact_posted_before_wildcard_wins(self):
+        mb = mailbox()
+        exact = PostedRecv(0, 1, 5, 100)
+        wild = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        mb.post(exact)
+        mb.post(wild)
+        mb.deliver(env(1, 5, 0, b"x"))
+        assert exact.matched and not wild.matched
+
+    def test_wildcard_posted_before_exact_wins(self):
+        mb = mailbox()
+        wild = PostedRecv(0, ANY_SOURCE, ANY_TAG, 100)
+        exact = PostedRecv(0, 1, 5, 100)
+        mb.post(wild)
+        mb.post(exact)
+        mb.deliver(env(1, 5, 0, b"x"))
+        assert wild.matched and not exact.matched
+        mb.deliver(env(1, 5, 0, b"y"))
+        assert exact.matched
+        assert exact.envelope.payload == b"y"
+
+    def test_probe_wildcard_returns_oldest(self):
+        mb = mailbox()
+        mb.deliver(env(5, 1, 0, b"old"))
+        mb.deliver(env(4, 2, 0, b"new"))
+        got = mb.probe_pending(0, ANY_SOURCE, ANY_TAG)
+        assert got.payload == b"old"
+        assert mb.pending_count() == 2
+
+    def test_has_pending_per_context(self):
+        mb = mailbox()
+        assert not mb.has_pending(0)
+        mb.deliver(env(0, 0, ctx=3))
+        assert mb.has_pending(3)
+        assert not mb.has_pending(0)
+        pr = PostedRecv(3, 0, 0, 100)
+        mb.post(pr)
+        assert not mb.has_pending(3)
+
+    def test_counts_track_buckets(self):
+        mb = mailbox()
+        for tag in range(4):
+            mb.deliver(env(0, tag, 0))
+        assert mb.pending_count() == 4
+        assert mb.pending_count(0) == 4
+        mb.post(PostedRecv(0, 0, 2, 100))
+        assert mb.pending_count() == 3
+        prs = [PostedRecv(0, 9, 9, 100), PostedRecv(0, ANY_SOURCE, 1, 100)]
+        for pr in prs:
+            mb.post(pr)
+        assert mb.posted_count() == 1  # the wildcard matched tag 1 instantly
+        assert mb.cancel(prs[0])
+        assert mb.posted_count() == 0
 
 
 @settings(max_examples=50, deadline=None)
