@@ -132,6 +132,42 @@ def run_fault_tolerant(app: Callable, nprocs: int,
         restoring = True
 
 
+def resume_from_manifest(app: Callable, nprocs: int,
+                         storage: StorageBackend,
+                         machine: MachineModel = TESTING,
+                         config: Optional[C3Config] = None,
+                         fault_plan: Optional[FaultPlan] = None,
+                         app_args: Tuple = (),
+                         wall_timeout: float = 300.0,
+                         require_line: bool = True,
+                         ) -> Tuple[JobResult, List[Optional[C3Stats]]]:
+    """Restart a job directly from the checkpoints a storage backend holds.
+
+    The entry point for restarting *outside* the in-process
+    :func:`run_fault_tolerant` loop — a campaign driver, an operator
+    script, or a fresh process pointed at the stable storage of a failed
+    job.  It queries the commit manifest for the last recovery line
+    committed on **all** ranks (the same answer the per-rank global
+    reduction of ``chkpt_RestoreCheckpoint`` computes), then relaunches
+    the job in restore mode.
+
+    ``require_line=True`` (default) raises :class:`ProtocolError` when the
+    storage holds no complete recovery line, instead of silently
+    re-running the application from the beginning.
+    """
+    from ..storage.manifest import last_committed_global
+    line = last_committed_global(storage, nprocs)
+    if line is None and require_line:
+        raise ProtocolError(
+            f"storage holds no recovery line committed by all {nprocs} "
+            "ranks; nothing to restart from"
+        )
+    return run_c3(app, nprocs, machine=machine, storage=storage,
+                  config=config, fault_plan=fault_plan,
+                  restoring=line is not None,
+                  app_args=app_args, wall_timeout=wall_timeout)
+
+
 def _original_main(mpi: MPI, app: Callable, app_args: Tuple):
     ctx = Context(mpi)
     return app(ctx, *app_args)

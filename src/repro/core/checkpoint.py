@@ -18,6 +18,20 @@ Restore (on restart after a failure):
   reduction; load every section; distribute the Early-Message-Registry
   entries back to their senders to build the Was-Early-Registry; roll the
   request table back to the line and re-post the surviving receives.
+
+Paper mapping
+-------------
+* Section 3.4 / Figure 5 — the three actions this module implements;
+* Section 4 (Tables of saved state) — the checkpoint sections written
+  here: application state (``app``), basic MPI state (``mpi_state``),
+  the handle tables (``handles``: Section 4.1/4.2/4.4), the message
+  registries and the event log (Section 4.3's non-per-message
+  non-determinism);
+* Section 6, Tables 4-7 — the costs charged here (serialization and
+  disk-write virtual time at start/commit, disk-read at restore) are
+  what the checkpoint-overhead and restart-cost tables measure;
+* DESIGN.md section 3 — the restart flow and the replay/suppression
+  ordering during the re-execution that follows a restore.
 """
 
 from __future__ import annotations
@@ -43,9 +57,13 @@ def start_checkpoint(p: "C3Protocol") -> None:
     """Figure 5, ``chkpt_StartCheckpoint`` (runs inside the pragma)."""
     if p.ctx is None:
         raise ProtocolError("protocol has no bound application context")
-    # Advance Epoch; create checkpoint version and directory.
+    # Advance Epoch; create checkpoint version and directory.  The epoch
+    # advance is the ``at_epoch`` fault-injection point: a kill here lands
+    # exactly on the epoch boundary — the epoch has moved but nothing of
+    # the new line exists yet, so recovery must come from the previous one.
     line = p.epoch + 1
     p.epoch = line
+    p.mpi._ctx.note_epoch(line)
     writer = CheckpointWriter(p.storage, version=line, rank=p.rank,
                               portable=p.config.portable,
                               dry_run=not p.config.save_to_disk)

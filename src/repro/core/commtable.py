@@ -91,19 +91,29 @@ class CommTable:
     def to_wire(self) -> dict:
         entries = []
         for e in sorted(self._entries.values(), key=lambda x: x.key):
+            # The (context, shadow) ids are part of the saved state: the
+            # message registries persist raw context ids, and the engine
+            # assigns ids first-come — consistent across ranks within one
+            # run but not across runs.  Restore replays each creation
+            # with these exact ids so registry entries keep matching.
+            ids = None
+            if e.raw is not None:
+                ids = (e.raw.context_id, e.raw.shadow_id)
             entries.append({
                 "key": e.key, "recipe": e.recipe, "parent_key": e.parent_key,
-                "freed": e.freed, "coll_seq": e.coll_seq,
+                "freed": e.freed, "coll_seq": e.coll_seq, "ids": ids,
             })
         return {"entries": entries, "next_key": self._next_key}
 
     def restore_wire(self, wire: dict, world_raw) -> None:
-        """Replay every recorded creation against a fresh runtime."""
+        """Replay every recorded creation against a fresh runtime,
+        pinning each communicator to its original context ids."""
         self._entries.clear()
         self._next_key = 0
         for e in wire["entries"]:
             recipe = e["recipe"]
             kind = recipe["kind"]
+            ids = tuple(e["ids"]) if e.get("ids") is not None else None
             if kind == "world":
                 entry = self._add(recipe, None, world_raw)
             else:
@@ -114,15 +124,18 @@ class CommTable:
                         f"{e['parent_key']}"
                     )
                 if kind == "dup":
-                    entry = self._add(recipe, parent.key, parent.raw.Dup())
+                    entry = self._add(recipe, parent.key,
+                                      parent.raw.Dup(_force_ids=ids))
                 elif kind == "split":
-                    raw = parent.raw.Split(recipe["color"], recipe["key"])
+                    raw = parent.raw.Split(recipe["color"], recipe["key"],
+                                           _force_ids=ids)
                     entry = self._add(recipe, parent.key, raw)
                     if not recipe.get("member", True):
                         entry.freed = True
                 elif kind == "cart":
                     raw = parent.raw.Cart_create(recipe["dims"],
-                                                 recipe["periods"])
+                                                 recipe["periods"],
+                                                 _force_ids=ids)
                     entry = self._add(recipe, parent.key, raw)
                 else:
                     raise ProtocolError(f"unknown communicator recipe {kind!r}")

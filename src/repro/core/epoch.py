@@ -17,6 +17,14 @@ stopped logging non-deterministic events": 3 piggybacked bits total
 (Section 4.5, last bullet) so the wire encoding can be swapped; the
 ``FULL`` codec piggybacks the whole epoch and is used by the piggyback
 ablation bench.
+
+Paper mapping
+-------------
+* Definition 1 (Section 3.1) — :func:`classify` and the
+  ``LATE``/``INTRA``/``EARLY`` constants;
+* Section 3.2 — :class:`ThreeBitCodec` (the 2-bit epoch color + 1
+  stopped-logging bit piggybacked on every message);
+* Section 4.5 — :class:`FullCodec`, the swappable-wire-encoding ablation.
 """
 
 from __future__ import annotations

@@ -32,6 +32,24 @@ pseudocode elides but its prose implies):
   which is reproduced deterministically during replay; replay matches by
   id first and falls back to signature matching once the re-execution has
   (legitimately) diverged past the logged non-determinism window.
+
+Paper mapping
+-------------
+* Section 3.1 / Figure 2 — epochs and recovery lines (`self.epoch`,
+  advanced by :func:`repro.core.checkpoint.start_checkpoint`);
+* Section 3.2 — the 3 piggybacked bits every send carries
+  (:meth:`C3Protocol._piggyback`, codecs in :mod:`repro.core.epoch`);
+* Section 3.3 / Figure 4 — the send/receive wrappers (:meth:`C3Protocol.send`,
+  :meth:`C3Protocol.recv`, their non-blocking forms) and the
+  late/intra/early handling on delivery (``_on_app_delivery``);
+* Section 4.1 — request indirection (:mod:`repro.core.reqtable`);
+* Section 4.2 — datatype table (:mod:`repro.core.datatable`);
+* Section 4.3 — collectives as per-stream protocols
+  (:mod:`repro.core.collectives`);
+* Section 4.4 — recorded communicator creation
+  (:mod:`repro.core.commtable`);
+* Section 4.5 — design-choice ablation switches on :class:`C3Config`
+  (``distinguished_initiator``, ``log_reduction_results``, ``codec``).
 """
 
 from __future__ import annotations

@@ -20,6 +20,17 @@ Lifecycle rules from the paper:
   recovery line) are deleted — their allocations re-execute — and the
   remaining entries are recreated; those completed by a late message are
   *not* re-posted (the data replays from the log).
+
+Paper mapping
+-------------
+* Section 4.1 ("Request objects") — the indirection table itself, the
+  deferred deallocation, and the test counters;
+* Figure 5 (commit) — :meth:`RequestTable.on_commit` is the "save the
+  request table" step, run at commit so late-completed receives are
+  known;
+* Figure 5 (restore) — :meth:`RequestTable.restore_wire` rebuilds the
+  table with identical request identifiers, the property Section 4.1
+  needs for replayed ``Test``/``Wait`` calls to line up.
 """
 
 from __future__ import annotations

@@ -3,10 +3,10 @@
 from . import paperdata
 from .experiments import (
     ablation_blocking_vs_nonblocking, ablation_initiation,
-    ablation_logging_phases, ablation_piggyback,
-    render_checkpoint, render_overhead, render_restart, render_table1,
-    table1_rows, table2_rows, table3_rows, table4_rows, table5_rows,
-    table6_rows, table7_rows,
+    ablation_logging_phases, ablation_piggyback, campaign_restart_rows,
+    campaign_rows, render_checkpoint, render_overhead, render_restart,
+    render_table1, table1_rows, table2_rows, table3_rows, table4_rows,
+    table5_rows, table6_rows, table7_rows,
 )
 from .platforms import (
     LEMIEUX_CODES, RESTART_CODES, SIZE_SCALE, TABLE1_CODES, VELOCITY2_CODES,
@@ -14,21 +14,38 @@ from .platforms import (
 from .parallel import Cell, default_workers, run_cells
 from .report import render_table
 from .runner import (
-    c3_cell, measure_c3, measure_original, measure_restart, original_cell,
-    restart_cell,
+    c3_cell, measure_c3, measure_original, measure_recovery, measure_restart,
+    original_cell, recovery_cell, restart_cell,
 )
 
 __all__ = [
     "Cell", "run_cells", "default_workers",
-    "original_cell", "c3_cell", "restart_cell",
+    "original_cell", "c3_cell", "restart_cell", "recovery_cell",
     "paperdata",
+    "campaign_rows", "campaign_restart_rows",
     "table1_rows", "table2_rows", "table3_rows", "table4_rows",
     "table5_rows", "table6_rows", "table7_rows",
     "render_table1", "render_overhead", "render_checkpoint", "render_restart",
     "render_table",
     "ablation_initiation", "ablation_logging_phases", "ablation_piggyback",
     "ablation_blocking_vs_nonblocking",
-    "measure_original", "measure_c3", "measure_restart",
+    "measure_original", "measure_c3", "measure_restart", "measure_recovery",
     "LEMIEUX_CODES", "VELOCITY2_CODES", "TABLE1_CODES", "RESTART_CODES",
     "SIZE_SCALE",
 ]
+
+#: Campaign exports resolve lazily (PEP 562) so ``python -m
+#: repro.harness.campaign`` does not import the module twice (once via
+#: this package, once as ``__main__``) and trip runpy's warning.
+_CAMPAIGN_EXPORTS = frozenset({
+    "Scenario", "CampaignReport", "build_matrix", "smoke_matrix",
+    "full_matrix", "run_campaign", "render_campaign",
+})
+__all__ += sorted(_CAMPAIGN_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

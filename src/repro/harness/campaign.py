@@ -1,0 +1,527 @@
+"""Fault-injection recovery campaign: kill/restart/verify at matrix scale.
+
+The paper's headline claim is that C3 makes restart about as cheap as
+taking a checkpoint (Tables 6/7) while recovering *exactly* — replayed
+late messages, suppressed early sends, and logged non-determinism give a
+restarted run the failure-free answer bit for bit.  The unit tests
+exercise single recovery paths; this module opens the whole scenario
+space: every app kernel x platform model x kill timing, each scenario
+running the golden/clean/faulty/verify pipeline of
+:func:`repro.harness.runner.measure_recovery` through the process-pool
+harness.
+
+A *scenario* is plain data (picklable, JSON-able): an app name with
+campaign-sized parameters, a machine-model name, and a named *kill
+timing* that expands into fail-stop :class:`~repro.mpi.faults.FaultSpec`
+triggers —
+
+======================  ====================================================
+timing                  kills
+======================  ====================================================
+``early``               one rank at 15% of the golden runtime
+``mid_run``             one rank at 55%
+``late``                one rank at 85%
+``double``              two ranks, 35% and 70% (multi-fault schedule)
+``epoch_boundary``      a rank the instant it advances to epoch 2
+                        (``chkpt_StartCheckpoint`` ran, nothing committed)
+``mid_collective``      a rank inside its 4th collective, mid-exchange
+``storm``               every rank with per-operation probability, seeded
+======================  ====================================================
+
+Restarts go through :func:`repro.core.ccc.resume_from_manifest` — the
+storage-manifest entry point an operator would use — so the campaign
+drives exactly the restart path the paper's Section 4 describes, not a
+test-only shortcut.  Per scenario the report records the verification
+verdicts (clean C3 vs golden, recovered vs golden), restart counts,
+restart-cost figures in the Table 6/7 schema, protocol evidence (log
+replays, suppressed sends), and the off-cluster durability numbers of
+the PSC-style drain daemon.
+
+Command line::
+
+    python -m repro.harness.campaign --smoke            # CI subset, < 60 s
+    python -m repro.harness.campaign --full             # kernels x 3 platforms x timings
+    python -m repro.harness.campaign --apps CG,LU --kills mid_collective \
+        --platforms lemieux --json CAMPAIGN.json
+
+Exit status 0 iff every scenario verified (and every deterministic kill
+actually fired).  ``--json`` writes the machine-readable report; the CI
+workflow uploads it and fails on a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import APPS
+from ..mpi.timemodel import MACHINES
+from .parallel import Cell, run_cells
+from .report import render_table
+from .runner import measure_recovery
+
+__all__ = [
+    "APP_KERNELS", "CAMPAIGN_PARAMS", "COLLECTIVE_APPS", "KILL_TIMINGS",
+    "CampaignReport", "Scenario", "build_matrix", "full_matrix", "main",
+    "render_campaign", "run_campaign", "smoke_matrix",
+]
+
+#: The ten benchmark kernels of the paper's Section 6, plus the two demo
+#: apps — the campaign's default coverage set.
+APP_KERNELS: Tuple[str, ...] = (
+    "CG", "LU", "SP", "BT", "MG", "EP", "FT", "IS", "SMG2000", "HPL",
+    "ring", "heat",
+)
+
+#: Campaign-sized app parameters: long enough for several checkpoint
+#: intervals (so structural kills have epochs/collectives to land in),
+#: small enough that a 3-run scenario finishes in well under a second.
+CAMPAIGN_PARAMS: Dict[str, dict] = {
+    "CG": dict(local_n=32, nnz_per_row=4, niter=8),
+    "LU": dict(local_nx=12, local_ny=12, niter=8),
+    "SP": dict(local_rows=6, row_len=32, niter=8),
+    "BT": dict(local_rows=6, row_len=32, niter=8),
+    "MG": dict(local_n=64, levels=3, niter=6),
+    "EP": dict(pairs_per_batch=512, batches=6),
+    "FT": dict(local_rows=4, row_len=32, niter=6),
+    "IS": dict(keys_per_rank=512, niter=6),
+    "SMG2000": dict(local_n=8, levels=3, niter=4),
+    "HPL": dict(n=48, block=8, trials=3),
+    "ring": dict(payload=8, niter=10),
+    "heat": dict(local_n=16, niter=10),
+}
+
+#: Apps whose kernels perform collective operations; ``mid_collective``
+#: scenarios only apply to these (LU is pure point-to-point).
+COLLECTIVE_APPS = frozenset(APP_KERNELS) - {"LU"}
+
+#: The three platform models of the evaluation (Tables 2-7).
+FULL_PLATFORMS: Tuple[str, ...] = ("lemieux", "velocity2", "cmi")
+
+
+def _kill_early(nprocs: int) -> List[dict]:
+    return [{"rank": nprocs - 1, "frac": 0.15}]
+
+
+def _kill_mid_run(nprocs: int) -> List[dict]:
+    return [{"rank": 1 % nprocs, "frac": 0.55}]
+
+
+def _kill_late(nprocs: int) -> List[dict]:
+    return [{"rank": 0, "frac": 0.85}]
+
+
+def _kill_double(nprocs: int) -> List[dict]:
+    return [{"rank": 1 % nprocs, "frac": 0.35},
+            {"rank": (nprocs - 1), "frac": 0.70}]
+
+
+def _kill_epoch_boundary(nprocs: int) -> List[dict]:
+    # Epoch 1 is the one boundary every kernel reaches on every platform
+    # (EP's pragmas all sit early in the run, so rank 1 never advances to
+    # epoch 2 on the high-latency machines).  The boundary semantics are
+    # the same at every line: the epoch has advanced, nothing of the new
+    # line is committed, and recovery must come from the previous one —
+    # here, from the beginning.  Deeper boundaries are pinned by
+    # tests/integration/test_campaign.py on the testing platform.
+    return [{"rank": 1 % nprocs, "at_epoch": 1}]
+
+
+def _kill_mid_collective(nprocs: int) -> List[dict]:
+    return [{"rank": nprocs - 1, "in_collective": 4}]
+
+
+def _kill_storm(nprocs: int) -> List[dict]:
+    return [{"rank": r, "probability": 0.002} for r in range(nprocs)]
+
+
+#: Named kill timings:
+#: name -> (builder, deterministic, needs_collectives, interval_frac).
+#: ``deterministic`` timings must inject at least one failure, or the
+#: scenario fails — a matrix whose kills silently miss is not a recovery
+#: test.  (For multi-kill schedules like ``double``, later kills are
+#: best-effort: restarted runs reset virtual clocks, and cheap log-replay
+#: re-execution can finish before a late trigger is reached again.)
+#: ``interval_frac`` (when not None) overrides the scenario's checkpoint
+#: cadence: ``epoch_boundary`` checkpoints densely so every kernel
+#: reaches its first epoch boundary at all on every platform (EP's
+#: pragmas all sit in the first fraction of the run on high-latency
+#: machines; at the default cadence the timer never trips there).
+KILL_TIMINGS: Dict[str, Tuple[Callable[[int], List[dict]], bool, bool,
+                              Optional[float]]] = {
+    "early": (_kill_early, True, False, None),
+    "mid_run": (_kill_mid_run, True, False, None),
+    "late": (_kill_late, True, False, None),
+    "double": (_kill_double, True, False, None),
+    "epoch_boundary": (_kill_epoch_boundary, True, False, 0.05),
+    "mid_collective": (_kill_mid_collective, True, True, None),
+    "storm": (_kill_storm, False, False, None),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One campaign cell: app x platform x kill timing, as plain data."""
+
+    app: str
+    platform: str
+    kill: str
+    nprocs: int = 4
+    params: dict = field(default_factory=dict)
+    kills: Tuple[dict, ...] = ()
+    interval_frac: float = 0.2
+    seed: int = 0
+    wall_timeout: float = 120.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}/{self.platform}/{self.kill}"
+
+
+def build_matrix(apps: Sequence[str], platforms: Sequence[str],
+                 kills: Sequence[str], nprocs: int = 4,
+                 interval_frac: float = 0.2, seed: int = 0,
+                 wall_timeout: float = 120.0) -> List[Scenario]:
+    """The scenario grid, skipping inapplicable combinations
+    (``mid_collective`` on point-to-point-only apps)."""
+    unknown = [a for a in apps if a not in APPS]
+    if unknown:
+        raise ValueError(f"unknown apps: {unknown}; have {sorted(APPS)}")
+    unknown = [p for p in platforms if p not in MACHINES]
+    if unknown:
+        raise ValueError(
+            f"unknown platforms: {unknown}; have {sorted(MACHINES)}")
+    unknown = [k for k in kills if k not in KILL_TIMINGS]
+    if unknown:
+        raise ValueError(
+            f"unknown kill timings: {unknown}; have {sorted(KILL_TIMINGS)}")
+    scenarios = []
+    for app in apps:
+        for platform in platforms:
+            for kill in kills:
+                builder, _det, needs_coll, frac_override = KILL_TIMINGS[kill]
+                if needs_coll and app not in COLLECTIVE_APPS:
+                    continue
+                scenarios.append(Scenario(
+                    app=app, platform=platform, kill=kill, nprocs=nprocs,
+                    params=CAMPAIGN_PARAMS.get(app, {}),
+                    kills=tuple(builder(nprocs)),
+                    interval_frac=(frac_override if frac_override is not None
+                                   else interval_frac),
+                    seed=seed, wall_timeout=wall_timeout))
+    return scenarios
+
+
+def smoke_matrix(nprocs: int = 4, interval_frac: float = 0.2,
+                 seed: int = 0) -> List[Scenario]:
+    """The CI subset: every app kernel, one platform, kill timings
+    rotated across apps so each deterministic timing appears several
+    times — full kernel coverage in well under a minute."""
+    rotation = ("mid_run", "epoch_boundary", "mid_collective", "early",
+                "late", "double")
+    scenarios = []
+    for i, app in enumerate(APP_KERNELS):
+        kill = rotation[i % len(rotation)]
+        if kill == "mid_collective" and app not in COLLECTIVE_APPS:
+            kill = "mid_run"
+        scenarios.extend(build_matrix([app], ["testing"], [kill],
+                                      nprocs=nprocs,
+                                      interval_frac=interval_frac,
+                                      seed=seed))
+    return scenarios
+
+
+def full_matrix(nprocs: int = 4) -> List[Scenario]:
+    """Every app kernel x the three evaluation platforms x every kill
+    timing (deterministic and probabilistic)."""
+    return build_matrix(APP_KERNELS, FULL_PLATFORMS, tuple(KILL_TIMINGS),
+                        nprocs=nprocs)
+
+
+# ---------------------------------------------------------------------------
+# Execution and reporting
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CampaignReport:
+    """All scenario records plus the pass/fail roll-up."""
+
+    rows: List[Dict]
+    wall_seconds: float = 0.0
+    #: harness-level error (e.g. a broken worker pool) that forced the
+    #: affected scenarios onto the inline fallback — the verdicts are
+    #: still complete, but the underlying cause must not be hidden
+    harness_error: Optional[str] = None
+
+    @property
+    def failures(self) -> List[Dict]:
+        return [r for r in self.rows if not r["passed"]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict:
+        rows = self.rows
+        out = {
+            "scenarios": len(rows),
+            "passed": sum(r["passed"] for r in rows),
+            "failed": [r["scenario"] for r in self.failures],
+            "total_restarts": sum(r.get("restarts", 0) for r in rows),
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.harness_error:
+            out["harness_error"] = self.harness_error
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps({"summary": self.summary(), "rows": self.rows},
+                          indent=2, default=str)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+
+def _judge(scenario: Scenario, record: Dict) -> Dict:
+    """Fold a measurement record into a campaign row with a verdict."""
+    deterministic = KILL_TIMINGS[scenario.kill][1]
+    # At least one kill must have fired (see KILL_TIMINGS: later kills of
+    # a multi-fault schedule are best-effort after clocks reset).
+    fired = bool(record.get("fired"))
+    failure = None
+    if record.get("error"):
+        failure = record["error"]
+    elif not record["verified_clean"]:
+        failure = "clean C3 run diverged from the golden results"
+    elif not record["verified_recovery"]:
+        failure = "recovered results are not bitwise-equal to golden"
+    elif deterministic and not fired:
+        failure = "deterministic kill never fired (scenario vacuous)"
+    return {
+        "scenario": scenario.label,
+        "kill_timing": scenario.kill,
+        "passed": failure is None,
+        "failure": failure,
+        **record,
+    }
+
+
+def _error_record(scenario: Scenario, exc: Exception) -> Dict:
+    return {
+        "app": scenario.app, "nprocs": scenario.nprocs,
+        "platform": scenario.platform, "kills": list(scenario.kills),
+        "fired": [], "interval_frac": scenario.interval_frac,
+        "verified": False, "verified_clean": False,
+        "verified_recovery": False, "restarts": 0,
+        "error": f"{type(exc).__name__}: {exc}",
+    }
+
+
+def _measure_scenario(scenario: Scenario) -> Dict:
+    """Top-level (picklable) cell body: one scenario, never raises.
+
+    Scenario errors (a deadlocked run, a protocol assertion) become
+    error records, so a broken cell neither aborts its ``run_cells``
+    wave nor discards the pool's in-flight results for the rest.
+    """
+    s = scenario
+    try:
+        return measure_recovery(
+            s.app, s.nprocs, MACHINES[s.platform], dict(s.params),
+            [dict(k) for k in s.kills], interval_frac=s.interval_frac,
+            seed=s.seed, wall_timeout=s.wall_timeout)
+    except Exception as exc:  # noqa: BLE001 - verdict, not crash
+        return _error_record(s, exc)
+
+
+def run_campaign(scenarios: Sequence[Scenario],
+                 parallel: Optional[bool] = None,
+                 max_workers: Optional[int] = None,
+                 progress: Optional[Callable[[Dict], None]] = None,
+                 ) -> CampaignReport:
+    """Run every scenario through the process-pool harness.
+
+    Per-scenario errors are captured as failed rows instead of aborting
+    the campaign, so one broken cell cannot hide the verdicts of the
+    rest.  ``progress`` receives each judged row as it completes (input
+    order).
+    """
+    scenarios = list(scenarios)
+    cells = [Cell(_measure_scenario, dict(scenario=s), label=s.label)
+             for s in scenarios]
+    rows: List[Optional[Dict]] = [None] * len(scenarios)
+
+    def on_result(i: int, _cell, record: Dict) -> None:
+        rows[i] = _judge(scenarios[i], record)
+        if progress is not None:
+            progress(rows[i])
+
+    t0 = time.time()
+    harness_error = None
+    try:
+        run_cells(cells, max_workers=max_workers, parallel=parallel,
+                  on_result=on_result)
+    except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+        # Only a harness-level crash lands here (the cells themselves
+        # never raise) — e.g. BrokenProcessPool losing the in-flight
+        # wave, or a pickling failure.  Finish whatever has no verdict
+        # yet inline, and surface the cause in the report.
+        harness_error = f"{type(exc).__name__}: {exc}"
+        for i, row in enumerate(rows):
+            if row is None:
+                on_result(i, None, _measure_scenario(scenarios[i]))
+    return CampaignReport(rows=[r for r in rows if r is not None],
+                          wall_seconds=time.time() - t0,
+                          harness_error=harness_error)
+
+
+def render_campaign(rows: Sequence[Dict]) -> str:
+    """The campaign verdict table (paper-layout plain text)."""
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r["scenario"], "PASS" if r["passed"] else "FAIL",
+            r.get("restarts", 0),
+            r.get("checkpoints_committed"),
+            _us(r.get("golden_seconds")),
+            _us(r.get("restart_cost_seconds")),
+            _us(r.get("restore_seconds")),
+            r.get("replayed_from_log"),
+            r.get("suppressed_sends"),
+        ])
+    return render_table(
+        "Recovery campaign: kill / restart / verify",
+        ["Scenario", "Verdict", "Restarts", "Ckpts", "Golden us",
+         "RestartCost us", "Restore us", "Replayed", "Suppressed"],
+        table_rows,
+        widths=[30, 7, 8, 5, 10, 14, 10, 8, 10],
+    )
+
+
+def _us(seconds: Optional[float]) -> Optional[float]:
+    """Microseconds — campaign runs are tiny; seconds would render 0.00."""
+    return None if seconds is None else seconds * 1e6
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness.campaign",
+        description="Fault-injection recovery campaign: for each app "
+                    "kernel x platform x kill timing, run golden / clean-C3 "
+                    "/ kill+restart and verify bitwise-equal results.")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", action="store_true",
+                      help="CI subset: every kernel, testing platform, "
+                           "rotated kill timings (default)")
+    mode.add_argument("--full", action="store_true",
+                      help="every kernel x 3 platforms x every timing")
+    ap.add_argument("--apps", help="comma-separated app names "
+                                   f"(default: all of {', '.join(APP_KERNELS)})")
+    ap.add_argument("--platforms",
+                    help="comma-separated machine models "
+                         f"(known: {', '.join(sorted(MACHINES))})")
+    ap.add_argument("--kills",
+                    help="comma-separated kill timings "
+                         f"(known: {', '.join(KILL_TIMINGS)})")
+    ap.add_argument("--nprocs", type=int, default=4,
+                    help="simulated ranks per scenario (default 4)")
+    ap.add_argument("--interval-frac", type=float, default=0.2,
+                    help="checkpoint interval as a fraction of the golden "
+                         "runtime (default 0.2)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="RNG seed for probabilistic kills")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the machine-readable report here")
+    ap.add_argument("--workers", type=int,
+                    help="process-pool size (default: REPRO_BENCH_WORKERS "
+                         "or cpu_count-1)")
+    ap.add_argument("--inline", action="store_true",
+                    help="run scenarios in this process (no pool)")
+    ap.add_argument("--list", action="store_true",
+                    help="print the scenario matrix and exit")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-scenario progress lines")
+    return ap.parse_args(argv)
+
+
+def _select_matrix(args: argparse.Namespace) -> List[Scenario]:
+    explicit = args.apps or args.platforms or args.kills
+    if args.smoke and explicit:
+        raise SystemExit(
+            "--smoke selects a fixed matrix; drop it to combine "
+            "--apps/--platforms/--kills (or use --full to widen their "
+            "defaults)")
+    if args.full:
+        apps = args.apps.split(",") if args.apps else list(APP_KERNELS)
+        platforms = (args.platforms.split(",") if args.platforms
+                     else list(FULL_PLATFORMS))
+        kills = args.kills.split(",") if args.kills else list(KILL_TIMINGS)
+        return build_matrix(apps, platforms, kills, nprocs=args.nprocs,
+                            interval_frac=args.interval_frac, seed=args.seed)
+    if explicit:
+        apps = args.apps.split(",") if args.apps else list(APP_KERNELS)
+        platforms = (args.platforms.split(",") if args.platforms
+                     else ["testing"])
+        kills = (args.kills.split(",") if args.kills
+                 else ["mid_run", "epoch_boundary", "mid_collective"])
+        return build_matrix(apps, platforms, kills, nprocs=args.nprocs,
+                            interval_frac=args.interval_frac, seed=args.seed)
+    return smoke_matrix(nprocs=args.nprocs,
+                        interval_frac=args.interval_frac, seed=args.seed)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    scenarios = _select_matrix(args)
+    if args.list:
+        for s in scenarios:
+            kills = "; ".join(
+                ", ".join(f"{k}={v}" for k, v in kill.items())
+                for kill in s.kills)
+            print(f"{s.label:36s} {kills}")
+        print(f"{len(scenarios)} scenarios")
+        return 0
+
+    total = len(scenarios)
+    done = [0]
+
+    def progress(row: Dict) -> None:
+        done[0] += 1
+        if not args.quiet:
+            verdict = "PASS" if row["passed"] else "FAIL"
+            extra = (f" restarts={row.get('restarts', 0)}"
+                     if row["passed"] else f" ({row['failure']})")
+            print(f"[{done[0]:3d}/{total}] {verdict} {row['scenario']}{extra}",
+                  flush=True)
+
+    report = run_campaign(scenarios, parallel=False if args.inline else None,
+                          max_workers=args.workers, progress=progress)
+    print()
+    print(render_campaign(report.rows))
+    s = report.summary()
+    print(f"\n{s['passed']}/{s['scenarios']} scenarios verified, "
+          f"{s['total_restarts']} restarts exercised "
+          f"({report.wall_seconds:.1f}s wall)")
+    if report.harness_error:
+        print(f"warning: worker pool degraded to inline execution: "
+              f"{report.harness_error}", file=sys.stderr)
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    if not report.ok:
+        print("FAILED scenarios:", ", ".join(s["failed"]), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

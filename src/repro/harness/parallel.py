@@ -84,12 +84,19 @@ def _shared_pool(workers: int) -> ProcessPoolExecutor:
 
 
 def run_cells(cells: Iterable[Cell], max_workers: Optional[int] = None,
-              parallel: Optional[bool] = None) -> List[Any]:
+              parallel: Optional[bool] = None,
+              on_result: Optional[Callable[[int, Cell, Any], None]] = None,
+              ) -> List[Any]:
     """Run every cell and return their results in input order.
 
     ``parallel=None`` (the default) enables the pool whenever more than
     one cell and more than one worker are available; ``parallel=False``
     runs inline in this process.
+
+    ``on_result(index, cell, result)`` (if given) is called in input
+    order as each cell's result becomes available — long sweeps (the
+    recovery campaign, table grids) use it for streaming progress
+    reporting without waiting for the whole wave.
     """
     cells = list(cells)
     # The pool is sized by the worker budget alone (not by len(cells)):
@@ -99,11 +106,21 @@ def run_cells(cells: Iterable[Cell], max_workers: Optional[int] = None,
                   else default_workers())
     if parallel is None:
         parallel = len(cells) > 1 and workers > 1
+    results: List[Any] = []
     if not parallel or workers == 1 or len(cells) <= 1:
-        return [_run_cell(c) for c in cells]
+        for i, c in enumerate(cells):
+            result = _run_cell(c)
+            if on_result is not None:
+                on_result(i, c, result)
+            results.append(result)
+        return results
     global _pool
     try:
-        return list(_shared_pool(workers).map(_run_cell, cells))
+        for i, result in enumerate(_shared_pool(workers).map(_run_cell, cells)):
+            if on_result is not None:
+                on_result(i, cells[i], result)
+            results.append(result)
+        return results
     except BrokenProcessPool:
         _pool = None  # a hard worker crash poisons the pool; drop it
         raise

@@ -31,6 +31,7 @@ _COLL_TAG_BASE = 1 << 20
 
 def _next_tag(comm) -> int:
     ctx = comm._ctx
+    ctx.begin_collective()
     key = ("coll_seq", comm.shadow_id)
     seq = ctx.scratch.get(key, 0)
     ctx.scratch[key] = seq + 1
@@ -38,6 +39,7 @@ def _next_tag(comm) -> int:
 
 
 def _send(comm, buf: np.ndarray, dest: int, tag: int) -> None:
+    comm._ctx.collective_fault_point()
     dt = from_numpy_dtype(buf.dtype)
     payload = dt.pack(buf, buf.size)
     comm.send_packed(payload, dest, tag, count=buf.size, type_name=dt.name,
@@ -45,6 +47,7 @@ def _send(comm, buf: np.ndarray, dest: int, tag: int) -> None:
 
 
 def _recv(comm, buf: np.ndarray, source: int, tag: int) -> None:
+    comm._ctx.collective_fault_point()
     req = comm.Irecv(buf, source=source, tag=tag, context_id=comm.shadow_id)
     req.wait()
 
@@ -57,6 +60,7 @@ def _recv_all(comm, bufs_by_source, tag: int) -> None:
     take the mailbox's exact-signature fast path; batching them turns p-1
     sleep/wake cycles into one.
     """
+    comm._ctx.collective_fault_point()
     reqs = [comm.Irecv(buf, source=source, tag=tag, context_id=comm.shadow_id)
             for source, buf in bufs_by_source]
     wait_all(reqs)

@@ -283,15 +283,23 @@ class Communicator:
         self._creation_seq += 1
         return key
 
-    def Dup(self, name: Optional[str] = None) -> "Communicator":
-        """Collective duplicate (``MPI_Comm_dup``)."""
+    def Dup(self, name: Optional[str] = None,
+            _force_ids: Optional[Tuple[int, int]] = None) -> "Communicator":
+        """Collective duplicate (``MPI_Comm_dup``).
+
+        ``_force_ids`` pins the (context, shadow) ids — used only by
+        checkpoint-restore replay, which must reproduce the original
+        run's ids (see :meth:`Engine.context_for`).
+        """
         self._check()
         key = self._next_creation_key()
-        cid, shadow = self._ctx.engine.context_for(key)
+        cid, shadow = self._ctx.engine.context_for(key, force=_force_ids)
         return Communicator(self._ctx, self.group, cid, shadow,
                             name=name or f"{self.name}.dup")
 
-    def Split(self, color: int, key: int = 0) -> Optional["Communicator"]:
+    def Split(self, color: int, key: int = 0,
+              _force_ids: Optional[Tuple[int, int]] = None
+              ) -> Optional["Communicator"]:
         """Collective split (``MPI_Comm_split``); color < 0 means undefined."""
         self._check()
         ckey = self._next_creation_key()
@@ -304,12 +312,14 @@ class Communicator:
         members = [(int(k), int(wr)) for c, k, wr in allv if int(c) == color]
         members.sort()
         group = Group([wr for _k, wr in members])
-        cid, shadow = self._ctx.engine.context_for((ckey, color))
+        cid, shadow = self._ctx.engine.context_for((ckey, color),
+                                                   force=_force_ids)
         return Communicator(self._ctx, group, cid, shadow,
                             name=f"{self.name}.split({color})")
 
     def Cart_create(self, dims: Sequence[int], periods: Sequence[int],
-                    reorder: bool = False) -> "CartComm":
+                    reorder: bool = False,
+                    _force_ids: Optional[Tuple[int, int]] = None) -> "CartComm":
         """Collective cartesian-topology creation (``MPI_Cart_create``)."""
         self._check()
         ndims = int(np.prod(dims))
@@ -318,7 +328,7 @@ class Communicator:
                 f"cartesian grid {tuple(dims)} does not cover {self.size} ranks"
             )
         key = self._next_creation_key()
-        cid, shadow = self._ctx.engine.context_for(key)
+        cid, shadow = self._ctx.engine.context_for(key, force=_force_ids)
         return CartComm(self._ctx, self.group, cid, shadow, tuple(dims),
                         tuple(bool(p) for p in periods), name=f"{self.name}.cart")
 

@@ -89,6 +89,9 @@ class RankContext:
         self.op_count = 0
         self.sent_count = 0
         self.sent_bytes = 0
+        #: collective operations begun by this rank (1-based after the
+        #: first begin_collective; drives ``in_collective`` fault specs)
+        self.collective_count = 0
         #: scratch space for runtime-internal per-rank state (collective tag
         #: sequence numbers, attached buffers, ...)
         self.scratch: Dict[Any, Any] = {}
@@ -126,6 +129,30 @@ class RankContext:
             raise JobAborted()
         self.engine.check_deadline()
         self.raise_due_fault()
+
+    # -- protocol/collective fault check points -------------------------------
+    def begin_collective(self) -> None:
+        """Count one collective operation started by this rank."""
+        self.collective_count += 1
+
+    def collective_fault_point(self) -> None:
+        """Mid-collective check point (internal traffic of a collective).
+
+        Called by the collective algorithms for each internal message, so
+        an ``in_collective`` fault spec kills its victim after the
+        collective has started — with peers already committed to the
+        exchange — rather than at a clean operation boundary.
+        """
+        self.engine.fault_plan.note_collective_op(
+            self.rank, self.collective_count, self.clock.now)
+
+    def note_epoch(self, epoch: int) -> None:
+        """Epoch-boundary check point (``at_epoch`` fault specs).
+
+        Called by the C3 layer on this rank's own thread immediately after
+        ``chkpt_StartCheckpoint`` advances the epoch.
+        """
+        self.engine.fault_plan.note_epoch(self.rank, epoch, self.clock.now)
 
     # -- virtual-time fault delivery -----------------------------------------
     def set_due_fault(self, spec: FaultSpec) -> None:
@@ -222,16 +249,32 @@ class Engine:
         self.fault_scheduler: Optional[VirtualTimeFaultScheduler] = None
 
     # -- communicator context ids ------------------------------------------
-    def context_for(self, key) -> Tuple[int, int]:
+    def context_for(self, key, force: Optional[Tuple[int, int]] = None
+                    ) -> Tuple[int, int]:
         """Deterministic (context, shadow) pair for a creation key.
 
         All members of a collective creation call compute the same key, so
         they all receive the same ids without extra synchronization.
+
+        ``force`` binds the key to explicit ids instead of the next free
+        pair.  The checkpoint-restore path uses it to replay communicator
+        creations with the ids of the original run: within one run the
+        first-come key order makes ids consistent across ranks but *not*
+        across runs, and the protocol's message registries persist raw
+        context ids — a restored communicator must therefore get exactly
+        the ids it had when the registries were written (DESIGN.md §3).
+        ``_next_cid`` is bumped past forced ids so later creations never
+        collide with restored ones.
         """
         with self._ctx_lock:
             if key not in self._ctx_registry:
-                self._ctx_registry[key] = (self._next_cid, self._next_cid + 1)
-                self._next_cid += 2
+                if force is not None:
+                    self._ctx_registry[key] = force
+                    self._next_cid = max(self._next_cid, force[1] + 1)
+                else:
+                    self._ctx_registry[key] = (self._next_cid,
+                                               self._next_cid + 1)
+                    self._next_cid += 2
             return self._ctx_registry[key]
 
     # -- virtual-time fault scheduling ---------------------------------------

@@ -2,24 +2,41 @@
 
 The paper's fault model (footnote 1) is fail-stop: a failing processor
 simply stops; it never sends erroneous messages.  A :class:`FaultPlan`
-schedules fail-stop faults on chosen ranks, triggered either after the
-rank's N-th MPI operation, at a virtual time, or with a per-operation
-probability (seeded, so runs are repeatable).
+schedules fail-stop faults on chosen ranks.  Five trigger kinds cover the
+scenario space of the recovery campaign (``repro.harness.campaign``):
+
+* ``after_ops`` — after the rank's N-th MPI operation;
+* ``at_time`` — once the rank's virtual clock passes a time (delivered
+  event-driven by the engine's :class:`VirtualTimeFaultScheduler`);
+* ``probability`` — independently at each operation, with a seeded RNG so
+  runs are repeatable;
+* ``at_epoch`` — the instant the rank advances to checkpoint epoch N
+  (``chkpt_StartCheckpoint`` has moved the epoch but nothing of the new
+  line is committed yet): the kill-at-epoch-boundary scenario;
+* ``in_collective`` — at the first internal message of the rank's N-th
+  collective operation, after the collective has started and typically
+  mid-exchange, so the surviving peers are left blocked inside the
+  collective: the kill-mid-collective scenario.
 
 The engine checks the plan on entry to every MPI operation and from the
-poll hook of blocking waits; a triggered fault raises
-:class:`~repro.mpi.errors.ProcessFailure` inside the rank's thread, the
-engine marks the job failed, and all surviving ranks unwind with
-:class:`~repro.mpi.errors.JobAborted` — which is how the peers "detect"
-the failure.  The restart harness then relaunches the job from the last
-committed recovery line.
+poll hook of blocking waits; the protocol layer reports epoch advances and
+the collective algorithms report their internal traffic.  A triggered
+fault raises :class:`~repro.mpi.errors.ProcessFailure` inside the rank's
+thread, the engine marks the job failed, and all surviving ranks unwind
+with :class:`~repro.mpi.errors.JobAborted` — which is how the peers
+"detect" the failure.  The restart harness then relaunches the job from
+the last committed recovery line.
+
+A plan may hold many specs (across ranks and kinds); specs that already
+fired never fire again, so a restart loop over a multi-fault schedule
+converges.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import ProcessFailure
 
@@ -35,11 +52,35 @@ class FaultSpec:
     at_time: Optional[float] = None
     #: fire independently at each operation with this probability
     probability: float = 0.0
+    #: fire the moment the rank advances to this checkpoint epoch
+    at_epoch: Optional[int] = None
+    #: fire inside the rank's N-th collective operation (1-based)
+    in_collective: Optional[int] = None
     reason: str = "injected fail-stop fault"
 
     def __post_init__(self) -> None:
-        if self.after_ops is None and self.at_time is None and self.probability <= 0:
-            raise ValueError("FaultSpec needs after_ops, at_time, or probability")
+        if (self.after_ops is None and self.at_time is None
+                and self.probability <= 0 and self.at_epoch is None
+                and self.in_collective is None):
+            raise ValueError("FaultSpec needs after_ops, at_time, "
+                             "probability, at_epoch, or in_collective")
+        if self.in_collective is not None and self.in_collective < 1:
+            raise ValueError("in_collective is a 1-based collective index")
+
+    def describe(self) -> str:
+        """Human-readable trigger summary for campaign reports."""
+        parts = []
+        if self.after_ops is not None:
+            parts.append(f"after {self.after_ops} ops")
+        if self.at_time is not None:
+            parts.append(f"at t={self.at_time:.6g}s")
+        if self.probability > 0:
+            parts.append(f"p={self.probability:g}/op")
+        if self.at_epoch is not None:
+            parts.append(f"at epoch {self.at_epoch}")
+        if self.in_collective is not None:
+            parts.append(f"in collective #{self.in_collective}")
+        return f"rank {self.rank}: " + ", ".join(parts)
 
 
 class FaultPlan:
@@ -56,11 +97,34 @@ class FaultPlan:
     def none(cls) -> "FaultPlan":
         return cls([])
 
+    @classmethod
+    def staggered(cls, kills: Sequence[Tuple[int, float]],
+                  reason: str = "staggered fail-stop") -> "FaultPlan":
+        """Multi-fault schedule: ``(rank, at_time)`` kills in sequence.
+
+        Each restart resets virtual clocks to zero, so later triggers are
+        relative to the *restarted* run — a schedule of increasing times
+        therefore kills once per execution until the times run out.
+        """
+        return cls([FaultSpec(rank=r, at_time=t, reason=reason)
+                    for r, t in kills])
+
     def add(self, spec: FaultSpec) -> None:
         self.specs.setdefault(spec.rank, []).append(spec)
 
+    def all_specs(self) -> Iterable[FaultSpec]:
+        for specs in self.specs.values():
+            yield from specs
+
+    def unfired(self) -> List[FaultSpec]:
+        return [s for s in self.all_specs() if s not in self.fired]
+
+    def _fire(self, spec: FaultSpec, rank: int, now: float) -> None:
+        self.fired.append(spec)
+        raise ProcessFailure(rank, now, spec.reason)
+
     def check(self, rank: int, op_count: int, now: float) -> None:
-        """Raise :class:`ProcessFailure` if a spec for this rank fires."""
+        """Raise :class:`ProcessFailure` if a per-operation spec fires."""
         for spec in self.specs.get(rank, ()):
             if spec in self.fired:
                 continue
@@ -72,8 +136,27 @@ class FaultPlan:
             if spec.probability > 0 and self._rng.random() < spec.probability:
                 hit = True
             if hit:
-                self.fired.append(spec)
-                raise ProcessFailure(rank, now, spec.reason)
+                self._fire(spec, rank, now)
+
+    def note_epoch(self, rank: int, epoch: int, now: float) -> None:
+        """Epoch-boundary check point, called by ``chkpt_StartCheckpoint``
+        (on the advancing rank's own thread) right after the epoch moves."""
+        for spec in self.specs.get(rank, ()):
+            if spec in self.fired or spec.at_epoch is None:
+                continue
+            if epoch >= spec.at_epoch:
+                self._fire(spec, rank, now)
+
+    def note_collective_op(self, rank: int, collective_index: int,
+                           now: float) -> None:
+        """Mid-collective check point, called by the collective algorithms
+        at each internal message of the rank's ``collective_index``-th
+        collective (1-based)."""
+        for spec in self.specs.get(rank, ()):
+            if spec in self.fired or spec.in_collective is None:
+                continue
+            if collective_index >= spec.in_collective:
+                self._fire(spec, rank, now)
 
     def __bool__(self) -> bool:
         return bool(self.specs)

@@ -18,9 +18,11 @@ application would have been delayed had it written remotely in-line
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..mpi.timemodel import MachineModel
+from .manifest import checkpoint_bytes, last_committed_global
+from .stable import StorageBackend
 
 
 @dataclass
@@ -78,3 +80,28 @@ class DrainDaemon:
             line_durable_at=max(remote_done) if remote_done else 0.0,
             synchronous_penalty=max(0.0, sync_penalty),
         )
+
+    def drain_line(self, storage: StorageBackend, nprocs: int,
+                   version: Optional[int] = None,
+                   start_times: Optional[Sequence[float]] = None,
+                   ) -> Optional[DrainReport]:
+        """Drain a committed recovery line straight from the manifest.
+
+        The entry point the recovery campaign (and any harness working
+        against real stable storage) uses: look up ``version`` — by
+        default the last line committed on *all* ranks — read each rank's
+        actual checkpoint payload size from the storage backend, and model
+        the off-cluster drain of exactly those bytes.  Returns ``None``
+        when the storage holds no complete recovery line.
+
+        ``start_times`` defaults to every rank starting its local write at
+        t=0 (the worst case for drain-stream contention).
+        """
+        if version is None:
+            version = last_committed_global(storage, nprocs)
+            if version is None:
+                return None
+        sizes = [checkpoint_bytes(storage, version, r) for r in range(nprocs)]
+        if start_times is None:
+            start_times = [0.0] * nprocs
+        return self.drain(start_times, sizes)

@@ -90,6 +90,54 @@ def test_commtable_unit_roundtrip():
     assert all(result.returns)
 
 
+def test_restore_pins_context_ids_under_allocation_drift():
+    """The recovery-campaign deadlock regression: a restarted job whose
+    engine hands out context ids in a different order must still rebuild
+    every recorded communicator with its ORIGINAL (context, shadow) ids —
+    the late/early registries persist raw context ids, so any drift makes
+    replay and suppression silently miss and the restart deadlocks."""
+    from repro.core.commtable import CommTable
+    from repro.mpi import run_job
+
+    def main(mpi):
+        table = CommTable()
+        table.add_world(mpi.COMM_WORLD)
+        dup = table.record_dup(table.get(0))
+        cart = table.record_cart(table.get(0), (mpi.size,), (True,))
+        wire = table.to_wire()
+        assert wire["entries"][1]["ids"] == (dup.raw.context_id,
+                                             dup.raw.shadow_id)
+
+        # Model a restarted engine whose allocation order drifted: burn a
+        # few context ids on keys the original run never saw, then replay.
+        mpi._ctx.engine.context_for(("drift", mpi.rank % 1, 0))
+        mpi._ctx.engine.context_for(("drift", mpi.rank % 1, 1))
+        from repro.mpi.communicator import Communicator, Group
+        fresh_world = Communicator(
+            mpi._ctx, Group(range(mpi.size)), mpi._ctx.engine.WORLD_CTX,
+            mpi._ctx.engine.WORLD_SHADOW, name="MPI_COMM_WORLD")
+        # the fresh world's creation keys must not collide with the
+        # original run's (same key -> registry short-circuits the force);
+        # a restarted process re-derives the same keys, so skew them here
+        fresh_world._creation_seq = 50
+        restored = CommTable()
+        restored.restore_wire(wire, fresh_world)
+        for key in (dup.key, cart.key):
+            assert (restored.get(key).raw.context_id
+                    == table.get(key).raw.context_id)
+            assert (restored.get(key).raw.shadow_id
+                    == table.get(key).raw.shadow_id)
+        # and fresh creations after the restore never collide
+        newer = restored.record_dup(restored.get(0))
+        taken = {restored.get(k).raw.context_id for k in (0, dup.key, cart.key)}
+        assert newer.raw.context_id not in taken
+        return True
+
+    result = run_job(4, main, wall_timeout=30)
+    result.raise_errors()
+    assert all(result.returns)
+
+
 def test_freed_comm_recorded_and_replayed():
     def app(ctx):
         comm = ctx.comm

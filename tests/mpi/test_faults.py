@@ -72,3 +72,43 @@ def test_multiple_specs_per_rank():
         plan.check(0, 1, 1.0)   # at_time fires first
     with pytest.raises(ProcessFailure):
         plan.check(0, 5, 0.0)   # after_ops still armed
+
+
+def test_spec_requires_a_trigger():
+    with pytest.raises(ValueError):
+        FaultSpec(rank=0)
+    with pytest.raises(ValueError):
+        FaultSpec(rank=0, in_collective=0)
+
+
+def test_at_epoch_fires_only_on_note_epoch():
+    plan = FaultPlan([FaultSpec(rank=1, at_epoch=2)])
+    plan.check(1, 1000, 1000.0)      # per-op path ignores epoch specs
+    plan.note_epoch(1, 1, 0.5)       # boundary below threshold
+    plan.note_epoch(0, 2, 0.5)       # other rank's boundary
+    with pytest.raises(ProcessFailure) as exc:
+        plan.note_epoch(1, 2, 0.7)
+    assert exc.value.time == 0.7
+    plan.note_epoch(1, 3, 0.9)       # spent
+
+
+def test_in_collective_fires_only_mid_collective():
+    plan = FaultPlan([FaultSpec(rank=2, in_collective=3)])
+    plan.check(2, 1000, 1000.0)             # per-op path ignores it
+    plan.note_collective_op(2, 2, 0.1)      # second collective: below
+    plan.note_collective_op(0, 3, 0.1)      # other rank
+    with pytest.raises(ProcessFailure):
+        plan.note_collective_op(2, 3, 0.2)
+    plan.note_collective_op(2, 4, 0.3)      # spent
+
+
+def test_staggered_schedule_and_describe():
+    plan = FaultPlan.staggered([(0, 1.0), (1, 2.0)])
+    assert len(plan.unfired()) == 2
+    with pytest.raises(ProcessFailure):
+        plan.check(0, 1, 1.0)
+    assert len(plan.unfired()) == 1
+    descriptions = [s.describe() for s in plan.all_specs()]
+    assert any("rank 1" in d and "t=2" in d for d in descriptions)
+    assert "epoch" in FaultSpec(rank=0, at_epoch=1).describe()
+    assert "collective #4" in FaultSpec(rank=0, in_collective=4).describe()
