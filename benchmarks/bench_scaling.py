@@ -1,0 +1,28 @@
+"""Scaling study — C3 overhead flatness at the paper's true process counts.
+
+Reproduces the Tables 2-3 scalability claim ("overhead stays small up to
+hundreds of processes") by sweeping 16 -> 256 simulated ranks across the
+Lemieux / Velocity 2 / CMI models on the cooperative rank scheduler.
+"""
+
+from conftest import run_once
+
+from repro.harness.scaling import (
+    SCALING_RANKS, check_flatness, render_scaling, scaling_rows,
+)
+
+
+def test_scaling_overhead_flat_to_256_ranks(benchmark):
+    rows = run_once(benchmark, scaling_rows)
+    print()
+    print(render_scaling(rows))
+    assert len(rows) == 3 * 3 * len(SCALING_RANKS)
+    # The sweep must actually reach the paper's scale.
+    assert max(r["nprocs"] for r in rows) == 256
+    # Paper's conclusion: low overhead at every scale point...
+    for r in rows:
+        assert r["overhead_pct"] < 10.0, r
+        assert r["overhead_pct"] > -2.0, r
+    # ...and no runaway growth with the process count (flatness).
+    violations = check_flatness(rows)
+    assert not violations, violations

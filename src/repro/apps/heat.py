@@ -16,7 +16,11 @@ from .kernels import checksum
 
 
 def heat(ctx, local_n: int = 32, niter: int = 40, alpha: float = 0.4,
-         t_left: float = 100.0, t_right: float = 0.0):
+         t_left: float = 100.0, t_right: float = 0.0,
+         work_scale: float = 1.0):
+    """``work_scale`` multiplies the modelled FLOP charge, so scaling
+    studies can hold paper-regime compute-to-communication ratios
+    without paper-class array sizes (same knob as the NPB kernels)."""
     comm = ctx.comm
     rank, size = ctx.rank, ctx.size
     left = rank - 1 if rank > 0 else PROC_NULL
@@ -59,5 +63,5 @@ def heat(ctx, local_n: int = 32, niter: int = 40, alpha: float = 0.4,
         dmax = np.zeros(1)
         comm.Allreduce(np.array([delta]), dmax, MAX)
         s.dmax = float(dmax[0])
-        ctx.work(6.0 * local_n)
+        ctx.work(6.0 * local_n * work_scale)
     return checksum(s.u, [s.dmax])

@@ -64,6 +64,7 @@ def _c3_main(mpi: MPI, app: Callable, config: C3Config,
         # After a restore the world entry may have been replaced.
         ctx.comm = C3Comm(protocol, protocol.commtable.get(0))
     result = app(ctx, *app_args)
+    protocol.finalize()
     return result, protocol.stats
 
 
@@ -72,7 +73,8 @@ def run_c3(app: Callable, nprocs: int, machine: MachineModel = TESTING,
            config: Optional[C3Config] = None,
            fault_plan: Optional[FaultPlan] = None,
            restoring: bool = False, app_args: Tuple = (),
-           wall_timeout: float = 300.0) -> Tuple[JobResult, List[Optional[C3Stats]]]:
+           wall_timeout: float = 300.0,
+           engine: Optional[str] = None) -> Tuple[JobResult, List[Optional[C3Stats]]]:
     """One job execution under the coordination layer."""
     storage = storage if storage is not None else InMemoryStorage()
     config = config or C3Config()
@@ -80,6 +82,7 @@ def run_c3(app: Callable, nprocs: int, machine: MachineModel = TESTING,
         nprocs, _c3_main,
         args=(app, config, storage, restoring, app_args),
         machine=machine, fault_plan=fault_plan, wall_timeout=wall_timeout,
+        engine=engine,
     )
     stats: List[Optional[C3Stats]] = []
     returns = []
@@ -100,7 +103,8 @@ def run_fault_tolerant(app: Callable, nprocs: int,
                        config: Optional[C3Config] = None,
                        fault_plan: Optional[FaultPlan] = None,
                        app_args: Tuple = (), max_restarts: int = 8,
-                       wall_timeout: float = 300.0) -> C3RunResult:
+                       wall_timeout: float = 300.0,
+                       engine: Optional[str] = None) -> C3RunResult:
     """Run to completion, restarting from the last recovery line on failure.
 
     The fault plan applies only to the first execution (the paper's model:
@@ -117,7 +121,7 @@ def run_fault_tolerant(app: Callable, nprocs: int,
         result, stats = run_c3(app, nprocs, machine=machine, storage=storage,
                                config=config, fault_plan=plan,
                                restoring=restoring, app_args=app_args,
-                               wall_timeout=wall_timeout)
+                               wall_timeout=wall_timeout, engine=engine)
         result.raise_errors()
         if result.failure is None:
             return C3RunResult(job=result, stats=stats, restarts=restarts,
@@ -140,6 +144,7 @@ def resume_from_manifest(app: Callable, nprocs: int,
                          app_args: Tuple = (),
                          wall_timeout: float = 300.0,
                          require_line: bool = True,
+                         engine: Optional[str] = None,
                          ) -> Tuple[JobResult, List[Optional[C3Stats]]]:
     """Restart a job directly from the checkpoints a storage backend holds.
 
@@ -165,7 +170,8 @@ def resume_from_manifest(app: Callable, nprocs: int,
     return run_c3(app, nprocs, machine=machine, storage=storage,
                   config=config, fault_plan=fault_plan,
                   restoring=line is not None,
-                  app_args=app_args, wall_timeout=wall_timeout)
+                  app_args=app_args, wall_timeout=wall_timeout,
+                  engine=engine)
 
 
 def _original_main(mpi: MPI, app: Callable, app_args: Tuple):
@@ -174,10 +180,11 @@ def _original_main(mpi: MPI, app: Callable, app_args: Tuple):
 
 
 def run_original(app: Callable, nprocs: int, machine: MachineModel = TESTING,
-                 app_args: Tuple = (), wall_timeout: float = 300.0) -> JobResult:
+                 app_args: Tuple = (), wall_timeout: float = 300.0,
+                 engine: Optional[str] = None) -> JobResult:
     """Run the uninstrumented application (no coordination layer)."""
     return run_job(nprocs, _original_main, args=(app, app_args),
-                   machine=machine, wall_timeout=wall_timeout)
+                   machine=machine, wall_timeout=wall_timeout, engine=engine)
 
 
 def cached_comm(ctx: Context, name: str, factory: Callable[[], C3Comm]):

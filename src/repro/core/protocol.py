@@ -596,6 +596,28 @@ class C3Protocol:
         return indices, statuses
 
     # ======================================================== PRAGMA (Figure 5)
+    def finalize(self) -> None:
+        """End-of-job protocol drain (the ``MPI_Finalize`` interception).
+
+        Drains every control message already delivered and re-evaluates
+        the commit conditions, so a rank whose peers completed a
+        checkpoint line while it sat in its final compute/communication
+        stretch commits the line before the job ends — without this,
+        whether the last line committed on every rank depended on
+        cross-rank scheduling during the job's closing operations
+        (observable as a committed-count flap between the engine
+        backends).  The drain is deliberately non-blocking — it consumes
+        what has arrived rather than synchronizing on a barrier: the
+        paper's runtime tables time the application, not
+        ``MPI_Finalize`` teardown, and the downscaled cells run in
+        virtual milliseconds where a full dissemination barrier would
+        be a visible artificial overhead.  A line some rank never
+        initiated stays uncommitted, as the protocol requires: recovery
+        would use the previous complete line.
+        """
+        self._poll_control()
+        self._maybe_commit()
+
     def pragma(self, force: bool = False) -> None:
         """``#pragma ccc checkpoint``."""
         from .checkpoint import start_checkpoint

@@ -9,7 +9,8 @@ from .experiments import (
     table5_rows, table6_rows, table7_rows,
 )
 from .platforms import (
-    LEMIEUX_CODES, RESTART_CODES, SIZE_SCALE, TABLE1_CODES, VELOCITY2_CODES,
+    LEMIEUX_CODES, OverheadConfig, PLATFORMS, PlatformConfig, RESTART_CODES,
+    SIZE_SCALE, ScalePoint, TABLE1_CODES, VELOCITY2_CODES,
 )
 from .parallel import Cell, default_workers, run_cells
 from .report import render_table
@@ -32,20 +33,30 @@ __all__ = [
     "measure_original", "measure_c3", "measure_restart", "measure_recovery",
     "LEMIEUX_CODES", "VELOCITY2_CODES", "TABLE1_CODES", "RESTART_CODES",
     "SIZE_SCALE",
+    "PLATFORMS", "PlatformConfig", "ScalePoint", "OverheadConfig",
 ]
 
-#: Campaign exports resolve lazily (PEP 562) so ``python -m
-#: repro.harness.campaign`` does not import the module twice (once via
-#: this package, once as ``__main__``) and trip runpy's warning.
+#: Campaign and scaling exports resolve lazily (PEP 562) so ``python -m
+#: repro.harness.campaign`` / ``python -m repro.harness.scaling`` do not
+#: import their module twice (once via this package, once as
+#: ``__main__``) and trip runpy's warning.
 _CAMPAIGN_EXPORTS = frozenset({
     "Scenario", "CampaignReport", "build_matrix", "smoke_matrix",
     "full_matrix", "run_campaign", "render_campaign",
 })
-__all__ += sorted(_CAMPAIGN_EXPORTS)
+_SCALING_EXPORTS = frozenset({
+    "SCALING_APPS", "SCALING_PLATFORMS", "SCALING_RANKS", "check_flatness",
+    "measure_scaling_point", "render_scaling", "scaling_cell",
+    "scaling_rows",
+})
+__all__ += sorted(_CAMPAIGN_EXPORTS) + sorted(_SCALING_EXPORTS)
 
 
 def __getattr__(name: str):
     if name in _CAMPAIGN_EXPORTS:
         from . import campaign
         return getattr(campaign, name)
+    if name in _SCALING_EXPORTS:
+        from . import scaling
+        return getattr(scaling, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

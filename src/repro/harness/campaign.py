@@ -176,6 +176,8 @@ class Scenario:
     interval_frac: float = 0.2
     seed: int = 0
     wall_timeout: float = 120.0
+    #: engine backend (None = the default cooperative scheduler)
+    engine: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -185,7 +187,8 @@ class Scenario:
 def build_matrix(apps: Sequence[str], platforms: Sequence[str],
                  kills: Sequence[str], nprocs: int = 4,
                  interval_frac: float = 0.2, seed: int = 0,
-                 wall_timeout: float = 120.0) -> List[Scenario]:
+                 wall_timeout: float = 120.0,
+                 engine: Optional[str] = None) -> List[Scenario]:
     """The scenario grid, skipping inapplicable combinations
     (``mid_collective`` on point-to-point-only apps)."""
     unknown = [a for a in apps if a not in APPS]
@@ -212,12 +215,12 @@ def build_matrix(apps: Sequence[str], platforms: Sequence[str],
                     kills=tuple(builder(nprocs)),
                     interval_frac=(frac_override if frac_override is not None
                                    else interval_frac),
-                    seed=seed, wall_timeout=wall_timeout))
+                    seed=seed, wall_timeout=wall_timeout, engine=engine))
     return scenarios
 
 
 def smoke_matrix(nprocs: int = 4, interval_frac: float = 0.2,
-                 seed: int = 0) -> List[Scenario]:
+                 seed: int = 0, engine: Optional[str] = None) -> List[Scenario]:
     """The CI subset: every app kernel, one platform, kill timings
     rotated across apps so each deterministic timing appears several
     times — full kernel coverage in well under a minute."""
@@ -231,7 +234,7 @@ def smoke_matrix(nprocs: int = 4, interval_frac: float = 0.2,
         scenarios.extend(build_matrix([app], ["testing"], [kill],
                                       nprocs=nprocs,
                                       interval_frac=interval_frac,
-                                      seed=seed))
+                                      seed=seed, engine=engine))
     return scenarios
 
 
@@ -334,7 +337,7 @@ def _measure_scenario(scenario: Scenario) -> Dict:
         return measure_recovery(
             s.app, s.nprocs, MACHINES[s.platform], dict(s.params),
             [dict(k) for k in s.kills], interval_frac=s.interval_frac,
-            seed=s.seed, wall_timeout=s.wall_timeout)
+            seed=s.seed, wall_timeout=s.wall_timeout, engine=s.engine)
     except Exception as exc:  # noqa: BLE001 - verdict, not crash
         return _error_record(s, exc)
 
@@ -434,6 +437,9 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                          f"(known: {', '.join(KILL_TIMINGS)})")
     ap.add_argument("--nprocs", type=int, default=4,
                     help="simulated ranks per scenario (default 4)")
+    ap.add_argument("--engine", choices=["cooperative", "threads"],
+                    help="execution backend (default: the cooperative "
+                         "scheduler, or REPRO_ENGINE)")
     ap.add_argument("--interval-frac", type=float, default=0.2,
                     help="checkpoint interval as a fraction of the golden "
                          "runtime (default 0.2)")
@@ -466,7 +472,8 @@ def _select_matrix(args: argparse.Namespace) -> List[Scenario]:
                      else list(FULL_PLATFORMS))
         kills = args.kills.split(",") if args.kills else list(KILL_TIMINGS)
         return build_matrix(apps, platforms, kills, nprocs=args.nprocs,
-                            interval_frac=args.interval_frac, seed=args.seed)
+                            interval_frac=args.interval_frac, seed=args.seed,
+                            engine=args.engine)
     if explicit:
         apps = args.apps.split(",") if args.apps else list(APP_KERNELS)
         platforms = (args.platforms.split(",") if args.platforms
@@ -474,9 +481,11 @@ def _select_matrix(args: argparse.Namespace) -> List[Scenario]:
         kills = (args.kills.split(",") if args.kills
                  else ["mid_run", "epoch_boundary", "mid_collective"])
         return build_matrix(apps, platforms, kills, nprocs=args.nprocs,
-                            interval_frac=args.interval_frac, seed=args.seed)
+                            interval_frac=args.interval_frac, seed=args.seed,
+                            engine=args.engine)
     return smoke_matrix(nprocs=args.nprocs,
-                        interval_frac=args.interval_frac, seed=args.seed)
+                        interval_frac=args.interval_frac, seed=args.seed,
+                        engine=args.engine)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -17,13 +17,12 @@ from ..apps import APPS
 from ..baselines.condor import measure_sizes
 from ..core.ccc import run_c3, run_original
 from ..core.protocol import C3Config
-from ..mpi.timemodel import LEMIEUX, CMI, MachineModel, VELOCITY2
+from ..mpi.timemodel import MachineModel
 from ..storage.stable import InMemoryStorage
 from . import paperdata
 from .platforms import (
-    LEMIEUX_CODES, OverheadConfig, RESTART_CODES, RESTART_MACHINES,
-    SIZE_SCALE, TABLE1_CODES, TABLE1_PLATFORMS, VELOCITY2_CODES,
-    velocity2_machine_for,
+    PLATFORMS, RESTART_CODES, RESTART_MACHINES, SIZE_SCALE, TABLE1_CODES,
+    TABLE1_PLATFORMS,
 )
 from .parallel import run_cells
 from .report import render_table
@@ -140,13 +139,15 @@ def _overhead_rows(codes, machine_for, paper_table,
 
 def table2_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Runtime overhead without checkpoints on the Lemieux model."""
-    return _overhead_rows(LEMIEUX_CODES, lambda _app: LEMIEUX,
+    platform = PLATFORMS["lemieux"]
+    return _overhead_rows(platform.codes, platform.machine_for,
                           paperdata.TABLE2, parallel=parallel)
 
 
 def table3_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Runtime overhead without checkpoints on the Velocity 2 / CMI models."""
-    return _overhead_rows(VELOCITY2_CODES, velocity2_machine_for,
+    platform = PLATFORMS["velocity2"]
+    return _overhead_rows(platform.codes, platform.machine_for,
                           paperdata.TABLE3, parallel=parallel)
 
 
@@ -217,13 +218,15 @@ def _checkpoint_rows(codes, machine_for, paper_table,
 
 def table4_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Overhead with one checkpoint on the Lemieux model."""
-    return _checkpoint_rows(LEMIEUX_CODES, lambda _app: LEMIEUX,
+    platform = PLATFORMS["lemieux"]
+    return _checkpoint_rows(platform.codes, platform.machine_for,
                             paperdata.TABLE4, parallel=parallel)
 
 
 def table5_rows(parallel: Optional[bool] = None) -> List[Dict]:
     """Overhead with one checkpoint on the Velocity 2 / CMI models."""
-    return _checkpoint_rows(VELOCITY2_CODES, velocity2_machine_for,
+    platform = PLATFORMS["velocity2"]
+    return _checkpoint_rows(platform.codes, platform.machine_for,
                             paperdata.TABLE5, parallel=parallel)
 
 

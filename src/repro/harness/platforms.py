@@ -1,25 +1,41 @@
-"""Experiment scale configuration.
+"""Experiment scale configuration (platform models x process counts).
 
-The paper's runs use 32-1024 MPI processes and class A-D problem sizes;
-the thread-based simulator runs the same protocol code paths at reduced
-scale.  This module pins, for every experiment, the (proc count, app
-parameters) used in the reproduction and the factor mapping a paper
-configuration onto it, so EXPERIMENTS.md can state the mapping precisely.
+Paper mapping: this module pins the *configurations* of the paper's
+Section 6 evaluation — the (platform, code, process count, problem
+class) grid behind Tables 2-5 (runtime overhead and one-checkpoint
+overhead on Lemieux / Velocity 2 / CMI), Table 1's checkpoint-size
+codes, and the Tables 6-7 restart codes — so EXPERIMENTS.md can state
+precisely which paper cell each reproduction row corresponds to.
 
-The rule of thumb: the three scaling points of Tables 2-5 (64/256/1024 on
-Lemieux, 32-256 on Velocity 2) become 4/8/16 simulated ranks, with app
-parameters chosen to keep the compute-to-communication ratio in the same
-regime the paper reports (a few percent protocol overhead, except
-SMG2000's small-message blow-up on Velocity 2).  Table 1's checkpoint
-sizes are reproduced at 1/100 of the paper's footprint, with the platform
-static segments scaled by the same factor so the *reduction percentages*
-are directly comparable.
+Every overhead cell is a :class:`ScalePoint` carrying **two
+fidelities**:
+
+* ``sim`` — the downscaled reproduction (the paper's 32-1024 processes
+  become 4/8/16 simulated ranks, with app parameters calibrated to keep
+  the compute-to-communication ratio in the regime the paper reports).
+  These remain the fast defaults for the table drivers and smoke tests.
+* ``paper`` — the paper's true process count, feasible since the engine
+  default moved to the cooperative rank scheduler
+  (:mod:`repro.mpi.scheduler`): rank fibers cost a parked carrier and a
+  small stack, not a free-running 1 MiB thread, so 256-1024-rank jobs
+  are routine.  Per-rank parameters are carried over unchanged (weak
+  scaling: the same local working set per rank), which is exactly the
+  regime of the paper's scalability claim — overhead should stay flat
+  as the process count grows.
+
+:data:`PLATFORMS` groups the overhead codes per cluster model into
+:class:`PlatformConfig` handles; the 16-256-rank scaling study in
+:mod:`repro.harness.scaling` sweeps the same machine models.
+
+Table 1's checkpoint sizes are reproduced at 1/100 of the paper's
+footprint, with the platform static segments scaled by the same factor
+so the *reduction percentages* are directly comparable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..apps import APPS
 from ..mpi.timemodel import (
@@ -29,15 +45,39 @@ from ..mpi.timemodel import (
 #: Table-1 footprint scale: we reproduce sizes at paper_bytes / SIZE_SCALE.
 SIZE_SCALE = 100
 
+#: recognized fidelities for :meth:`ScalePoint.procs` / ``params_for``
+SCALES = ("sim", "paper")
+
 
 @dataclass(frozen=True)
 class ScalePoint:
-    """One (paper procs -> simulated procs) mapping with app parameters."""
+    """One overhead cell, runnable downscaled (``sim``) or at the
+    paper's true process count (``paper``)."""
 
     paper_procs: int
     paper_nodes: int
     sim_procs: int
     params: dict
+    #: per-rank parameters for the paper-scale run; ``None`` reuses
+    #: ``params`` unchanged (weak scaling: same local working set)
+    paper_params: Optional[dict] = None
+
+    def procs(self, scale: str = "sim") -> int:
+        """Process count at the chosen fidelity."""
+        _check_scale(scale)
+        return self.sim_procs if scale == "sim" else self.paper_procs
+
+    def params_for(self, scale: str = "sim") -> dict:
+        """App parameters at the chosen fidelity (a fresh dict)."""
+        _check_scale(scale)
+        if scale == "paper" and self.paper_params is not None:
+            return dict(self.paper_params)
+        return dict(self.params)
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; known: {SCALES}")
 
 
 @dataclass(frozen=True)
@@ -47,6 +87,38 @@ class OverheadConfig:
     app_name: str
     label: str
     points: Tuple[ScalePoint, ...]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """One evaluation cluster: machine model(s) plus its overhead codes.
+
+    ``machine_overrides`` maps app names to a different machine model —
+    the paper ran the Tables 3/5 HPL rows on CMI rather than Velocity 2.
+    """
+
+    name: str
+    machine: MachineModel
+    codes: Tuple[OverheadConfig, ...]
+    machine_overrides: Mapping[str, MachineModel] = field(
+        default_factory=dict)
+
+    def machine_for(self, app_name: str) -> MachineModel:
+        return self.machine_overrides.get(app_name, self.machine)
+
+    def scale_points(self, scale: str = "sim"
+                     ) -> Iterator[Tuple[OverheadConfig, ScalePoint, int,
+                                         dict, MachineModel]]:
+        """Every runnable cell of this platform at the chosen fidelity.
+
+        Yields ``(code, point, nprocs, params, machine)`` rows;
+        ``scale="paper"`` selects the paper's true process counts.
+        """
+        _check_scale(scale)
+        for cfg in self.codes:
+            machine = self.machine_for(cfg.app_name)
+            for pt in cfg.points:
+                yield cfg, pt, pt.procs(scale), pt.params_for(scale), machine
 
 
 def _pts(app: str, triples) -> Tuple[ScalePoint, ...]:
@@ -113,9 +185,22 @@ VELOCITY2_CODES: Tuple[OverheadConfig, ...] = (
     ])),
 )
 
-#: machine per Tables 3/5 row (the paper ran HPL on CMI)
+#: The evaluation clusters as first-class handles: the Tables 2-5
+#: drivers (``repro.harness.experiments``) resolve their codes and
+#: per-app machines here, and the paper-scale cells come from
+#: ``scale_points("paper")``.  (The 16-256-rank scaling study sweeps
+#: the same machine models but with its own weak-scaling kernels; see
+#: :mod:`repro.harness.scaling`.)
+PLATFORMS: Dict[str, PlatformConfig] = {
+    "lemieux": PlatformConfig("lemieux", LEMIEUX, LEMIEUX_CODES),
+    "velocity2": PlatformConfig("velocity2", VELOCITY2, VELOCITY2_CODES,
+                                machine_overrides={"HPL": CMI}),
+}
+
+
 def velocity2_machine_for(app_name: str) -> MachineModel:
-    return CMI if app_name == "HPL" else VELOCITY2
+    """Machine per Tables 3/5 row (the paper ran HPL on CMI)."""
+    return PLATFORMS["velocity2"].machine_for(app_name)
 
 
 #: Table 1 codes with per-app parameters sized so the C3 checkpoint lands

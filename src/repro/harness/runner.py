@@ -22,6 +22,7 @@ from ..apps import APPS
 from ..core.ccc import resume_from_manifest, run_c3, run_original
 from ..core.modes import ProtocolError
 from ..core.protocol import C3Config
+from ..mpi.engine import resolve_backend
 from ..mpi.faults import FaultPlan, FaultSpec
 from ..mpi.timemodel import MachineModel
 from ..storage.drain import DrainDaemon
@@ -54,9 +55,11 @@ def _with_params(app_name: str, params: dict) -> Callable:
 
 
 def measure_original(app_name: str, nprocs: int, machine: MachineModel,
-                     params: dict, wall_timeout: float = 240.0) -> ModeResult:
+                     params: dict, wall_timeout: float = 240.0,
+                     engine: Optional[str] = None) -> ModeResult:
     result = run_original(_with_params(app_name, params), nprocs,
-                          machine=machine, wall_timeout=wall_timeout)
+                          machine=machine, wall_timeout=wall_timeout,
+                          engine=engine)
     result.raise_errors()
     return ModeResult(virtual_seconds=result.virtual_time)
 
@@ -65,7 +68,8 @@ def measure_c3(app_name: str, nprocs: int, machine: MachineModel,
                params: dict, checkpoints: int = 0, save_to_disk: bool = True,
                interval_fraction: float = 0.45,
                reference_time: Optional[float] = None,
-               wall_timeout: float = 240.0) -> ModeResult:
+               wall_timeout: float = 240.0,
+               engine: Optional[str] = None) -> ModeResult:
     """A C3 run: ``checkpoints == 0`` is configuration #1, otherwise one
     (or more) timer-initiated checkpoints — #2 with ``save_to_disk=False``,
     #3 with True."""
@@ -79,7 +83,7 @@ def measure_c3(app_name: str, nprocs: int, machine: MachineModel,
     storage = InMemoryStorage()
     result, stats = run_c3(_with_params(app_name, params), nprocs,
                            machine=machine, storage=storage, config=config,
-                           wall_timeout=wall_timeout)
+                           wall_timeout=wall_timeout, engine=engine)
     result.raise_errors()
     st = [s for s in stats if s is not None]
     return ModeResult(
@@ -162,7 +166,8 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
                      params: dict, kills: List[dict],
                      interval_frac: float = 0.2, seed: int = 0,
                      max_restarts: int = 8, drain_streams: int = 4,
-                     wall_timeout: float = 120.0) -> Dict:
+                     wall_timeout: float = 120.0,
+                     engine: Optional[str] = None) -> Dict:
     """One recovery-campaign scenario: golden run, fault run, restart,
     verify.
 
@@ -188,14 +193,14 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
     app = _with_params(app_name, params)
 
     golden = run_original(app, nprocs, machine=machine,
-                          wall_timeout=wall_timeout)
+                          wall_timeout=wall_timeout, engine=engine)
     golden.raise_errors()
     golden_s = golden.virtual_time
 
     config = C3Config(checkpoint_interval=golden_s * interval_frac)
     clean, clean_stats = run_c3(app, nprocs, machine=machine,
                                 storage=InMemoryStorage(), config=config,
-                                wall_timeout=wall_timeout)
+                                wall_timeout=wall_timeout, engine=engine)
     clean.raise_errors()
     verified_clean = _returns_equal(clean.returns, golden.returns)
 
@@ -205,7 +210,7 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
     restore_s = 0.0
     result, stats = run_c3(app, nprocs, machine=machine, storage=storage,
                            config=config, fault_plan=plan,
-                           wall_timeout=wall_timeout)
+                           wall_timeout=wall_timeout, engine=engine)
     result.raise_errors()
     run_times.append(result.virtual_time)
     restarts = 0
@@ -217,7 +222,8 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
                 f"(last failure: {result.failure})")
         result, stats = resume_from_manifest(
             app, nprocs, storage, machine=machine, config=config,
-            fault_plan=plan, wall_timeout=wall_timeout, require_line=False)
+            fault_plan=plan, wall_timeout=wall_timeout, require_line=False,
+            engine=engine)
         result.raise_errors()
         run_times.append(result.virtual_time)
         restore_s += max((s.restore_seconds for s in stats if s), default=0.0)
@@ -235,6 +241,7 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
         "app": app_name,
         "nprocs": nprocs,
         "platform": machine.name,
+        "engine": resolve_backend(engine),
         "kills": [dict(k) for k in kills],
         "fired": [s.describe() for s in plan.fired],
         "interval_frac": interval_frac,

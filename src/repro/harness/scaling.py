@@ -1,0 +1,266 @@
+"""Scaling study: C3 overhead vs. process count at paper-true scales.
+
+Paper mapping: Tables 2-3 make the headline scalability claim — the
+C3 coordination layer's failure-free overhead stays small and roughly
+*flat* as the process count grows into the hundreds ("up to hundreds of
+processes").  The table drivers reproduce the individual cells at
+downscaled rank counts; this module reproduces the *claim itself*: it
+sweeps 16 -> 256 simulated ranks on the three evaluation cluster models
+(Lemieux, Velocity 2, CMI), measuring the original-vs-C3 runtime at
+each point under weak scaling (per-rank working set held constant, the
+regime of the paper's scaling runs), and checks that the overhead at
+the largest rank count does not deviate from the small-rank trend
+beyond a tolerance.
+
+Feasible because the engine's default backend is the cooperative rank
+scheduler (:mod:`repro.mpi.scheduler`): a 256-rank job costs 256 parked
+carrier fibers and one run loop, not 256 free-running 1 MiB threads.
+The sweep also accepts ``engine="threads"`` for differential runs.
+
+Command line::
+
+    python -m repro.harness.scaling --json BENCH_scaling.json
+    python -m repro.harness.scaling --ranks 16,64,256 --apps ring,heat
+    python -m repro.harness.scaling --platforms lemieux --engine threads
+
+Exit status 0 iff every (platform, app) series satisfies the flatness
+criterion; the JSON report carries the rows, the violations, and the
+sweep configuration, and is uploaded by the ``scaling-smoke`` CI job as
+``BENCH_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mpi.engine import resolve_backend
+from ..mpi.timemodel import MACHINES
+from .parallel import Cell, run_cells
+from .report import render_table
+from .runner import measure_c3, measure_original
+
+__all__ = [
+    "SCALING_APPS", "SCALING_PLATFORMS", "SCALING_RANKS", "check_flatness",
+    "main", "measure_scaling_point", "render_scaling", "scaling_cell",
+    "scaling_rows", "write_report",
+]
+
+#: the sweep's process counts: 16 (the old simulator ceiling) up to 256
+#: (the top of the paper's Velocity 2 runs, mid-range on Lemieux)
+SCALING_RANKS: Tuple[int, ...] = (16, 32, 64, 128, 256)
+
+#: weak-scaling kernels: per-rank parameters held constant across rank
+#: counts, so the per-rank compute/communication mix matches at every
+#: point and any overhead growth is attributable to the protocol.
+#: ``ring`` stresses collectives + neighbor exchange; ``heat`` is the
+#: canonical halo pattern; ``CG`` adds an allgather whose volume grows
+#: with the rank count (the hardest case for flatness).
+SCALING_APPS: Dict[str, dict] = {
+    "ring": dict(payload=16, niter=6, work=0.1),
+    "heat": dict(local_n=32, niter=8, work_scale=2.5e6),
+    "CG": dict(local_n=8, nnz_per_row=4, niter=3, work_scale=4e6),
+}
+
+#: the three evaluation clusters of Tables 2-7
+SCALING_PLATFORMS: Tuple[str, ...] = ("lemieux", "velocity2", "cmi")
+
+#: default flatness tolerance: |overhead(max ranks) - small-rank trend|
+#: in percentage points (the paper's series move a few points at most)
+DEFAULT_TOLERANCE_PCT = 5.0
+
+
+def measure_scaling_point(app_name: str, nprocs: int, platform: str,
+                          params: dict, engine: Optional[str] = None,
+                          wall_timeout: float = 240.0) -> Dict:
+    """One sweep cell: original vs. C3-without-checkpoints at one scale."""
+    machine = MACHINES[platform]
+    t0 = time.time()
+    orig = measure_original(app_name, nprocs, machine, params,
+                            wall_timeout=wall_timeout, engine=engine)
+    c3 = measure_c3(app_name, nprocs, machine, params, checkpoints=0,
+                    wall_timeout=wall_timeout, engine=engine)
+    overhead = ((c3.virtual_seconds - orig.virtual_seconds)
+                / orig.virtual_seconds * 100.0)
+    return {
+        "app": app_name,
+        "platform": platform,
+        "nprocs": nprocs,
+        "engine": resolve_backend(engine),
+        "original_seconds": orig.virtual_seconds,
+        "c3_seconds": c3.virtual_seconds,
+        "overhead_pct": overhead,
+        "app_sends": c3.app_sends,
+        "wall_seconds": time.time() - t0,
+    }
+
+
+def scaling_cell(app_name: str, nprocs: int, platform: str, params: dict,
+                 **kw) -> Cell:
+    """A :func:`measure_scaling_point` run as a farmable cell."""
+    return Cell(measure_scaling_point,
+                dict(app_name=app_name, nprocs=nprocs, platform=platform,
+                     params=params, **kw),
+                label=f"scaling:{app_name}@{nprocs}:{platform}")
+
+
+def scaling_rows(ranks: Sequence[int] = SCALING_RANKS,
+                 apps: Optional[Dict[str, dict]] = None,
+                 platforms: Sequence[str] = SCALING_PLATFORMS,
+                 engine: Optional[str] = None,
+                 parallel: Optional[bool] = None,
+                 wall_timeout: float = 240.0) -> List[Dict]:
+    """The full sweep: platforms x apps x rank counts, pool-farmed."""
+    apps = apps if apps is not None else SCALING_APPS
+    cells = [scaling_cell(app, n, platform, params, engine=engine,
+                          wall_timeout=wall_timeout)
+             for platform in platforms
+             for app, params in apps.items()
+             for n in ranks]
+    return list(run_cells(cells, parallel=parallel))
+
+
+def check_flatness(rows: Sequence[Dict],
+                   tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+                   cap_pct: float = 10.0,
+                   floor_pct: float = -2.0) -> List[str]:
+    """Verify the paper's flat-overhead shape; returns violations.
+
+    Two criteria, mirroring what the Table 2/3 benches assert at
+    downscaled ranks, now at paper scale:
+
+    * **low everywhere** — every point's overhead must sit inside
+      ``(floor_pct, cap_pct)`` (the paper's series stay below ~10%
+      except the called-out SMG2000 anomaly, which the sweep kernels
+      avoid);
+    * **no runaway growth** — per (platform, app) series, the overhead
+      at the largest rank count must sit within ``tolerance_pct``
+      percentage points of the small-rank trend (the mean of the two
+      smallest rank counts).
+    """
+    series: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+    violations = []
+    for r in rows:
+        o = r["overhead_pct"]
+        if not floor_pct < o < cap_pct:
+            violations.append(
+                f"{r['platform']}/{r['app']}: overhead at {r['nprocs']} "
+                f"ranks is {o:.2f}%, outside ({floor_pct:.1f}%, "
+                f"{cap_pct:.1f}%)")
+        series.setdefault((r["platform"], r["app"]), []).append(
+            (r["nprocs"], o))
+    for (platform, app), pts in sorted(series.items()):
+        pts.sort()
+        if len(pts) < 2:
+            continue
+        baseline = sum(o for _, o in pts[:2]) / 2.0
+        top_n, top_o = pts[-1]
+        if abs(top_o - baseline) > tolerance_pct:
+            violations.append(
+                f"{platform}/{app}: overhead at {top_n} ranks is "
+                f"{top_o:.2f}% vs small-rank trend {baseline:.2f}% "
+                f"(tolerance {tolerance_pct:.1f} points)")
+    return violations
+
+
+def render_scaling(rows: Sequence[Dict]) -> str:
+    """Overhead-vs-process-count text table (one row per sweep cell)."""
+    table_rows = [[r["platform"], r["app"], r["nprocs"], r["engine"],
+                   round(r["original_seconds"], 6),
+                   round(r["c3_seconds"], 6),
+                   round(r["overhead_pct"], 2)]
+                  for r in rows]
+    return render_table(
+        "Scaling study: C3 overhead vs process count (weak scaling)",
+        ["Platform", "Code", "Procs", "Engine", "Original s", "C3 s",
+         "Ovh %"],
+        table_rows,
+        widths=[10, 6, 6, 12, 12, 12, 7],
+    )
+
+
+def write_report(path: str, rows: Sequence[Dict], violations: Sequence[str],
+                 config: Dict) -> None:
+    """Write the machine-readable sweep report (``BENCH_scaling.json``)."""
+    with open(path, "w") as f:
+        json.dump({"config": config, "violations": list(violations),
+                   "rows": list(rows)}, f, indent=2, default=str)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness.scaling",
+        description="Sweep 16->256 simulated ranks on the paper's cluster "
+                    "models and verify the flat overhead-vs-process-count "
+                    "claim of Tables 2-3.")
+    ap.add_argument("--ranks", default=",".join(map(str, SCALING_RANKS)),
+                    help="comma-separated rank counts "
+                         f"(default {','.join(map(str, SCALING_RANKS))})")
+    ap.add_argument("--apps", default=",".join(SCALING_APPS),
+                    help="comma-separated kernels "
+                         f"(known: {', '.join(SCALING_APPS)})")
+    ap.add_argument("--platforms", default=",".join(SCALING_PLATFORMS),
+                    help="comma-separated machine models "
+                         f"(default {','.join(SCALING_PLATFORMS)})")
+    ap.add_argument("--engine", choices=["cooperative", "threads"],
+                    help="execution backend (default: the cooperative "
+                         "scheduler, or REPRO_ENGINE)")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE_PCT,
+                    help="flatness tolerance in percentage points "
+                         f"(default {DEFAULT_TOLERANCE_PCT})")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the machine-readable report here")
+    ap.add_argument("--inline", action="store_true",
+                    help="run cells in this process (no pool)")
+    return ap.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    ranks = tuple(int(r) for r in args.ranks.split(","))
+    unknown = [a for a in args.apps.split(",") if a not in SCALING_APPS]
+    if unknown:
+        raise SystemExit(f"unknown scaling apps: {unknown}; "
+                         f"known: {sorted(SCALING_APPS)}")
+    apps = {a: SCALING_APPS[a] for a in args.apps.split(",")}
+    platforms = tuple(args.platforms.split(","))
+    unknown = [p for p in platforms if p not in MACHINES]
+    if unknown:
+        raise SystemExit(f"unknown platforms: {unknown}; "
+                         f"known: {sorted(MACHINES)}")
+
+    t0 = time.time()
+    rows = scaling_rows(ranks=ranks, apps=apps, platforms=platforms,
+                        engine=args.engine,
+                        parallel=False if args.inline else None)
+    violations = check_flatness(rows, tolerance_pct=args.tolerance)
+    print(render_scaling(rows))
+    print(f"\n{len(rows)} sweep cells in {time.time() - t0:.1f}s wall "
+          f"(engine={resolve_backend(args.engine)}, "
+          f"ranks {min(ranks)}->{max(ranks)})")
+    if args.json:
+        write_report(args.json, rows, violations, {
+            "ranks": list(ranks), "apps": sorted(apps),
+            "platforms": list(platforms),
+            "engine": resolve_backend(args.engine),
+            "tolerance_pct": args.tolerance,
+        })
+        print(f"wrote {args.json}")
+    if violations:
+        print("FLATNESS VIOLATIONS:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print("flat-overhead claim holds at every (platform, app) series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,10 @@
 
 Public surface:
 
-* :func:`run_job` / :class:`Engine` — launch an SPMD job, one thread per rank.
+* :func:`run_job` / :class:`Engine` — launch an SPMD job.  Two backends:
+  the default deterministic cooperative scheduler (one rank fiber at a
+  time; scales to the paper's 256+ process counts) and a thread-per-rank
+  escape hatch (``engine="threads"``).
 * :class:`MPI` — the per-rank facade handed to application ``main(mpi)``.
 * :mod:`~repro.mpi.timemodel` — virtual-time machine models (Lemieux,
   Velocity 2, CMI, the Table-1 uniprocessors, and a testing model).
@@ -16,7 +19,8 @@ from .datatypes import (
     ContiguousType, Datatype, IndexedType, NamedType, StructType, VectorType,
     from_numpy_dtype,
 )
-from .engine import Engine, JobResult, RankContext, run_job
+from .engine import Engine, JobResult, RankContext, resolve_backend, run_job
+from .scheduler import CooperativeScheduler
 from .errors import (
     DeadlockError, InvalidCommunicatorError, InvalidDatatypeError,
     InvalidRankError, InvalidRequestError, InvalidTagError, JobAborted,
@@ -35,7 +39,8 @@ from .timemodel import (
 
 __all__ = [
     "MPI", "Communicator", "Group", "CartComm", "PROC_NULL",
-    "Engine", "JobResult", "RankContext", "run_job",
+    "Engine", "JobResult", "RankContext", "run_job", "resolve_backend",
+    "CooperativeScheduler",
     "FaultPlan", "FaultSpec",
     "ANY_SOURCE", "ANY_TAG", "Envelope", "MessageSignature",
     "Op", "SUM", "PROD", "MAX", "MIN", "MAXLOC", "MINLOC",

@@ -213,7 +213,11 @@ class Communicator:
         """
         self._check()
         cid = self.context_id if context_id is None else context_id
-        return self._ctx.mailbox.has_pending(cid)
+        if self._ctx.mailbox.has_pending(cid):
+            return True
+        # Cooperative fairness (amortized): probe spin loops must yield.
+        self._ctx.nb_poll()
+        return False
 
     def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                context_id: Optional[int] = None) -> Tuple[bool, Optional[Status]]:
@@ -222,6 +226,8 @@ class Communicator:
         cid = self.context_id if context_id is None else context_id
         env = self._ctx.mailbox.probe_pending(cid, source, tag)
         if env is None:
+            # Cooperative fairness: let peers progress during probe loops.
+            self._ctx.nb_poll()
             return False, None
         return True, Status(source=env.source, tag=env.tag, count=env.count,
                             nbytes=env.nbytes)

@@ -1,11 +1,34 @@
-"""Job engine: runs one simulated MPI job, one thread per rank.
+"""Job engine: runs one simulated MPI job.
 
 The engine owns the mailboxes, the virtual-time machine model, the fault
 plan, and the communicator context-id registry.  ``Engine.run(main)``
-spawns ``nprocs`` threads; each executes ``main(mpi)`` where ``mpi`` is the
-rank's :class:`~repro.mpi.api.MPI` facade.  The engine collects per-rank
-return values, final virtual clocks, and traffic statistics into a
-:class:`JobResult`.
+executes ``main(mpi)`` on every rank, where ``mpi`` is the rank's
+:class:`~repro.mpi.api.MPI` facade, and collects per-rank return values,
+final virtual clocks, and traffic statistics into a :class:`JobResult`.
+
+Paper mapping: the engine plays the role of the MPI job launcher plus
+the machine under test in Section 6 — it provides the fail-stop fault
+model of footnote 1 (a killed rank simply stops; peers observe the
+failure and unwind), the per-process clocks whose maximum is the
+runtimes reported in Tables 2-7, and the process counts of the
+evaluation (the cooperative backend runs the paper's true 32-1024-rank
+configurations; see :mod:`repro.harness.platforms`).
+
+Two execution backends share all of the above (``engine=`` selects one;
+the ``REPRO_ENGINE`` environment variable overrides the default):
+
+* ``"cooperative"`` (default) — rank mains run as fibers under the
+  deterministic cooperative scheduler (:mod:`repro.mpi.scheduler`):
+  exactly one rank executes at a time, blocking MPI operations yield to
+  a single run loop, wakeups are exact, deadlock is detected the moment
+  every live rank blocks, and runs are bit-reproducible.  This backend
+  scales to the paper's process counts (256+ ranks).
+* ``"threads"`` — the original thread-per-rank model: free-running OS
+  threads, condition-variable mailboxes, 1 MiB stacks, and a wall-clock
+  watchdog as the only deadlock detector.  Kept as an escape hatch and
+  as a differential-testing oracle for the scheduler (the equivalence
+  suite checks both backends produce identical :class:`JobResult`
+  timings on deterministic kernels).
 
 Failure semantics: a triggered :class:`ProcessFailure` kills its rank,
 sets the job-wide abort flag, and every other rank unwinds with
@@ -27,6 +50,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 import threading
 import time as _time
 import traceback
@@ -37,7 +61,26 @@ from .errors import DeadlockError, JobAborted, ProcessFailure
 from .faults import FaultPlan, FaultSpec
 from .matching import Mailbox
 from .message import Envelope
+from .scheduler import CooperativeScheduler
 from .timemodel import MachineModel, RankClock, TESTING
+
+#: recognized ``engine=`` spellings -> canonical backend name
+_BACKEND_ALIASES = {
+    "cooperative": "cooperative", "coop": "cooperative",
+    "threads": "threads", "threaded": "threads", "thread": "threads",
+}
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Canonical backend name: explicit arg > ``REPRO_ENGINE`` > default."""
+    if name is None:
+        name = os.environ.get("REPRO_ENGINE") or "cooperative"
+    backend = _BACKEND_ALIASES.get(str(name).lower())
+    if backend is None:
+        raise ValueError(
+            f"unknown engine backend {name!r}; "
+            f"known: {sorted(set(_BACKEND_ALIASES))}")
+    return backend
 
 
 class VirtualTimeFaultScheduler:
@@ -95,6 +138,8 @@ class RankContext:
         #: scratch space for runtime-internal per-rank state (collective tag
         #: sequence numbers, attached buffers, ...)
         self.scratch: Dict[Any, Any] = {}
+        #: failed non-blocking completion checks since the last nb yield
+        self._nb_misses = 0
         self._send_seq: Dict[Tuple[int, int], int] = {}
         #: set by the virtual-time fault scheduler (possibly from another
         #: rank's thread); consumed by this rank at its next check point
@@ -130,6 +175,34 @@ class RankContext:
         self.engine.check_deadline()
         self.raise_due_fault()
 
+    #: consecutive non-blocking misses between cooperative yields.  The
+    #: C3 control plane probes (``has_pending``/``Iprobe``) on every
+    #: intercepted call, so yielding on *every* miss would cost a fiber
+    #: switch per protocol operation; amortizing keeps the hot path at
+    #: one integer increment while bounding any spin loop to
+    #: ``NB_YIELD_EVERY`` cheap probes per scheduling turn.
+    NB_YIELD_EVERY = 16
+
+    def nb_poll(self) -> None:
+        """Fairness + observation point for failed non-blocking checks.
+
+        Called when a ``Test``/``Iprobe``/``has_pending``-style
+        completion check misses.  Under the cooperative scheduler a spin
+        loop would otherwise monopolize the single runner and livelock
+        the job, so every ``NB_YIELD_EVERY``-th miss observes
+        aborts/faults/deadline (like :meth:`poll_hook`) and then yields
+        the loop one scheduling turn.  Under the threaded backend misses
+        stay poll-free, exactly as before.
+        """
+        sched = self.engine.scheduler
+        if sched is None:
+            return
+        self._nb_misses += 1
+        if self._nb_misses % self.NB_YIELD_EVERY:
+            return
+        self.poll_hook()
+        sched.yield_now()
+
     # -- protocol/collective fault check points -------------------------------
     def begin_collective(self) -> None:
         """Count one collective operation started by this rank."""
@@ -155,6 +228,11 @@ class RankContext:
         self.engine.fault_plan.note_epoch(self.rank, epoch, self.clock.now)
 
     # -- virtual-time fault delivery -----------------------------------------
+    @property
+    def has_due_fault(self) -> bool:
+        """A scheduled fault awaits delivery on this rank (scheduler wakeups)."""
+        return self._due_fault is not None
+
     def set_due_fault(self, spec: FaultSpec) -> None:
         """Mark a scheduled fault due and wake this rank if it is blocked."""
         self._due_fault = spec
@@ -230,12 +308,13 @@ class Engine:
 
     def __init__(self, nprocs: int, machine: MachineModel = TESTING,
                  fault_plan: Optional[FaultPlan] = None, seed: int = 0,
-                 wall_timeout: float = 300.0):
+                 wall_timeout: float = 300.0, engine: Optional[str] = None):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.machine = machine
         self.seed = seed
+        self.backend = resolve_backend(engine)
         self.fault_plan = fault_plan or FaultPlan.none()
         self.abort_event = threading.Event()
         self.failure: Optional[ProcessFailure] = None
@@ -247,6 +326,8 @@ class Engine:
         self._deadline = 0.0
         self.rank_contexts: List[RankContext] = []
         self.fault_scheduler: Optional[VirtualTimeFaultScheduler] = None
+        #: the cooperative scheduler while a cooperative run is live
+        self.scheduler: Optional[CooperativeScheduler] = None
 
     # -- communicator context ids ------------------------------------------
     def context_for(self, key, force: Optional[Tuple[int, int]] = None
@@ -348,12 +429,45 @@ class Engine:
                     errors.append((rank, traceback.format_exc()))
                 self.abort(None)
 
+        t0 = _time.monotonic()
+        if self.backend == "threads":
+            self._run_threads(worker, timeout, errors)
+        else:
+            self._run_cooperative(worker, errors)
+        wall = _time.monotonic() - t0
+
+        return JobResult(
+            nprocs=self.nprocs,
+            returns=returns,
+            clocks=[c.clock.now for c in self.rank_contexts],
+            failure=self.failure,
+            errors=errors,
+            sent_counts=[c.sent_count for c in self.rank_contexts],
+            sent_bytes=[c.sent_bytes for c in self.rank_contexts],
+            wall_seconds=wall,
+        )
+
+    def _run_cooperative(self, worker: Callable[[int], None],
+                         errors: List[Tuple[int, str]]) -> None:
+        """Run every rank as a fiber under the deterministic scheduler.
+
+        No watchdog timer is needed: the run loop itself checks the wall
+        deadline between scheduling steps and detects true deadlocks
+        (all ranks blocked, no predicate true) instantly.
+        """
+        self.scheduler = CooperativeScheduler(self)
+        for mb in self.mailboxes:
+            mb.bind_scheduler(self.scheduler)
+        self.scheduler.run(worker, deadline=self._deadline, errors=errors)
+
+    def _run_threads(self, worker: Callable[[int], None], timeout: float,
+                     errors: List[Tuple[int, str]]) -> None:
+        """Run every rank on its own free-running OS thread."""
         old_stack = threading.stack_size()
         try:
             threading.stack_size(1 << 20)
         except (ValueError, RuntimeError):  # pragma: no cover - platform quirk
             pass
-        t0 = _time.monotonic()
         threads = [threading.Thread(target=worker, args=(r,), daemon=True,
                                     name=f"rank-{r}")
                    for r in range(self.nprocs)]
@@ -373,13 +487,15 @@ class Engine:
         watchdog = threading.Timer(timeout + 0.05, self._on_wall_deadline)
         watchdog.daemon = True
         watchdog.start()
+        # Join against one shared absolute deadline (watchdog + margin):
+        # per-thread timeouts would make a hung many-rank job wait
+        # O(nprocs * timeout) instead of O(timeout).
+        join_deadline = _time.monotonic() + timeout + 30.0
         try:
             for t in threads:
-                # Join with a margin beyond the deadlock watchdog.
-                t.join(timeout + 30.0)
+                t.join(max(0.0, join_deadline - _time.monotonic()))
         finally:
             watchdog.cancel()
-        wall = _time.monotonic() - t0
 
         if any(t.is_alive() for t in threads):  # pragma: no cover - watchdog
             self.abort(None)
@@ -387,23 +503,19 @@ class Engine:
                 t.join(5.0)
             errors.append((-1, "engine watchdog: some ranks never terminated"))
 
-        return JobResult(
-            nprocs=self.nprocs,
-            returns=returns,
-            clocks=[c.clock.now for c in self.rank_contexts],
-            failure=self.failure,
-            errors=errors,
-            sent_counts=[c.sent_count for c in self.rank_contexts],
-            sent_bytes=[c.sent_bytes for c in self.rank_contexts],
-            wall_seconds=wall,
-        )
-
 
 def run_job(nprocs: int, main: Callable, args: Tuple = (),
             machine: MachineModel = TESTING,
             fault_plan: Optional[FaultPlan] = None, seed: int = 0,
-            wall_timeout: float = 300.0) -> JobResult:
-    """Convenience wrapper: build an :class:`Engine` and run one job."""
-    engine = Engine(nprocs, machine=machine, fault_plan=fault_plan, seed=seed,
-                    wall_timeout=wall_timeout)
-    return engine.run(main, args=args)
+            wall_timeout: float = 300.0,
+            engine: Optional[str] = None) -> JobResult:
+    """Convenience wrapper: build an :class:`Engine` and run one job.
+
+    ``engine`` selects the execution backend: ``"cooperative"`` (the
+    default — deterministic rank fibers, scales to paper process counts)
+    or ``"threads"`` (one OS thread per rank).  ``None`` defers to the
+    ``REPRO_ENGINE`` environment variable, then the default.
+    """
+    eng = Engine(nprocs, machine=machine, fault_plan=fault_plan, seed=seed,
+                 wall_timeout=wall_timeout, engine=engine)
+    return eng.run(main, args=args)

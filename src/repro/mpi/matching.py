@@ -22,17 +22,31 @@ Messages with different signatures may be consumed in any order the
 application chooses — the property Section 2.4 of the paper calls out as
 breaking Chandy-Lamport's FIFO assumption.
 
-All mailbox state is protected by a single condition variable.  Blocking
-operations wait on it *indefinitely* — there is no timeout poll — and
-are woken precisely by deliveries, job aborts, the engine's virtual-time
-fault scheduler, and the wall-clock watchdog (see
-:mod:`repro.mpi.engine`).
+Paper mapping: the mailbox is the runtime's model of the MPI matching
+engine the C3 protocol reasons about — Section 2.4's non-FIFO channels
+(signature-indexed consumption), Section 3's late/early message
+classification (every envelope carries send/avail timestamps and a
+sender sequence number, which the protocol layer compares against
+epochs), and Section 4.1's piggyback channel (envelopes carry the
+sender's C3 piggyback alongside the payload).
+
+Synchronization is backend-dependent.  Under the default cooperative
+scheduler (:mod:`repro.mpi.scheduler`) exactly one rank runs at a time,
+so the mailbox uses **no locks and no condition variables**: blocking
+operations suspend their rank fiber and deliveries mark the destination
+rank dirty, waking exactly the ranks whose wait predicate became true.
+Under the ``engine="threads"`` backend all state is protected by a
+single condition variable; blocking operations wait on it
+*indefinitely* — there is no timeout poll — and are woken precisely by
+deliveries, job aborts, the engine's virtual-time fault scheduler, and
+the wall-clock watchdog (see :mod:`repro.mpi.engine`).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from contextlib import nullcontext
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .errors import JobAborted, TruncationError
@@ -98,6 +112,10 @@ class PostedRecv:
             self.on_match(self)
 
 
+#: shared reusable no-op mutex for scheduler-bound (single-runner) mailboxes
+_NO_MUTEX = nullcontext()
+
+
 class Mailbox:
     """All incoming traffic for one rank."""
 
@@ -105,6 +123,10 @@ class Mailbox:
         self.rank = rank
         self._abort = abort_event
         self._cond = threading.Condition()
+        #: condition variable (threads) or no-op (cooperative scheduler)
+        self._mutex = self._cond
+        #: cooperative scheduler this mailbox reports wakeups to, if any
+        self._sched = None
         #: signature -> deque of (arrival stamp, envelope), arrival order
         self._pending: Dict[Signature, Deque[Tuple[int, Envelope]]] = {}
         self._arrival_seq = 0
@@ -120,16 +142,36 @@ class Mailbox:
         self.delivered_count = 0
         self.delivered_bytes = 0
 
+    # -- backend binding -----------------------------------------------------
+    def bind_scheduler(self, scheduler) -> None:
+        """Run lock-free under a cooperative scheduler.
+
+        With a single runner the condition variable is dead weight: the
+        mutex becomes a no-op and wakeups become exact dirty-rank notes
+        into the scheduler's run loop.  Called by the engine before a
+        cooperative run; a bound mailbox must no longer be touched from
+        free-running threads.
+        """
+        self._sched = scheduler
+        self._mutex = _NO_MUTEX
+
+    def _wake(self) -> None:
+        """Wake whoever waits on this mailbox (backend-appropriate)."""
+        if self._sched is not None:
+            self._sched.mailbox_activity(self.rank)
+        else:
+            self._cond.notify_all()
+
     # -- delivery (called from sender threads) ------------------------------
     def deliver(self, env: Envelope) -> None:
         """Hand an envelope to this rank; matches a posted receive if any."""
-        with self._cond:
+        with self._mutex:
             self.delivered_count += 1
             self.delivered_bytes += env.nbytes
             pr = self._take_posted(env)
             if pr is not None:
                 pr._match(env)
-                self._cond.notify_all()
+                self._wake()
                 return
             key = (env.context_id, env.source, env.tag)
             bucket = self._pending.get(key)
@@ -140,7 +182,7 @@ class Mailbox:
             self._pending_total += 1
             ctx = env.context_id
             self._pending_by_ctx[ctx] = self._pending_by_ctx.get(ctx, 0) + 1
-            self._cond.notify_all()
+            self._wake()
 
     def _take_posted(self, env: Envelope) -> Optional[PostedRecv]:
         """Pop the earliest-posted receive accepting ``env``, if any."""
@@ -168,12 +210,12 @@ class Mailbox:
     # -- posting receives ----------------------------------------------------
     def post(self, pr: PostedRecv) -> None:
         """Post a receive; matches the oldest pending envelope if one fits."""
-        with self._cond:
+        with self._mutex:
             key = self._oldest_pending_key(pr.context_id, pr.source, pr.tag)
             if key is not None:
                 env = self._pop_pending(key)
                 pr._match(env)
-                self._cond.notify_all()
+                self._wake()
                 return
             pr.post_seq = self._post_seq
             self._post_seq += 1
@@ -224,7 +266,7 @@ class Mailbox:
 
     def cancel(self, pr: PostedRecv) -> bool:
         """Cancel a posted receive; returns False if it already matched."""
-        with self._cond:
+        with self._mutex:
             if pr.matched:
                 return False
             pr.cancelled = True
@@ -255,8 +297,15 @@ class Mailbox:
         faults, the wall-clock watchdog).  ``poll`` (if given) runs on
         every wakeup — the engine uses it to raise due faults and
         deadline errors inside the blocked rank's own thread.
+
+        Under a cooperative scheduler the same contract holds, but the
+        wait suspends this rank's fiber instead of a condition variable;
+        the scheduler resumes it when the predicate becomes true.
         """
-        with self._cond:
+        if self._sched is not None:
+            self._sched.wait(predicate, poll)
+            return
+        with self._mutex:
             while True:
                 if predicate():
                     return
@@ -270,13 +319,13 @@ class Mailbox:
 
     def notify(self) -> None:
         """Wake any thread blocked on this mailbox (abort, fault, watchdog)."""
-        with self._cond:
-            self._cond.notify_all()
+        with self._mutex:
+            self._wake()
 
     # -- probing ---------------------------------------------------------------
     def probe_pending(self, context_id: int, source: int, tag: int) -> Optional[Envelope]:
         """Oldest pending envelope matching the triple, without removing it."""
-        with self._cond:
+        with self._mutex:
             key = self._oldest_pending_key(context_id, source, tag)
             if key is None:
                 return None
@@ -284,15 +333,15 @@ class Mailbox:
 
     def has_pending(self, context_id: int) -> bool:
         """O(1): is any envelope pending on this context?"""
-        with self._cond:
+        with self._mutex:
             return bool(self._pending_by_ctx.get(context_id))
 
     def pending_count(self, context_id: Optional[int] = None) -> int:
-        with self._cond:
+        with self._mutex:
             if context_id is None:
                 return self._pending_total
             return self._pending_by_ctx.get(context_id, 0)
 
     def posted_count(self) -> int:
-        with self._cond:
+        with self._mutex:
             return self._posted_total

@@ -80,6 +80,9 @@ class Request:
         """Non-blocking completion check (``MPI_Test``)."""
         self._check_not_released()
         if not self.is_complete():
+            # Cooperative fairness: a failed poll yields the scheduler a
+            # turn so Test spin loops cannot starve the sending rank.
+            self._rank_ctx.nb_poll()
             return False, None
         status = self._finish()
         self.released = True
@@ -184,6 +187,8 @@ def test_all(requests: Sequence[Request]) -> Tuple[bool, Optional[List[Status]]]
     """``MPI_Testall``: complete all or none."""
     live = [r for r in requests if not r.released]
     if not all(r.is_complete() for r in live):
+        if live:
+            live[0]._rank_ctx.nb_poll()
         return False, None
     out: List[Status] = []
     for r in requests:
@@ -197,9 +202,14 @@ def test_all(requests: Sequence[Request]) -> Tuple[bool, Optional[List[Status]]]
 
 def test_any(requests: Sequence[Request]) -> Tuple[bool, int, Optional[Status]]:
     """``MPI_Testany``: complete at most one (lowest index)."""
+    live = None
     for i, r in enumerate(requests):
-        if not r.released and r.is_complete():
-            status = r._finish()
-            r.released = True
-            return True, i, status
+        if not r.released:
+            live = live if live is not None else r
+            if r.is_complete():
+                status = r._finish()
+                r.released = True
+                return True, i, status
+    if live is not None:
+        live._rank_ctx.nb_poll()
     return False, -1, None

@@ -1,0 +1,284 @@
+"""Deterministic cooperative rank scheduler.
+
+The default execution backend of the :class:`~repro.mpi.engine.Engine`.
+Each rank's ``main`` runs as a *fiber*: a task that executes until it
+reaches a blocking point — a mailbox wait (``Recv``/``Wait``/``Probe``,
+collective internals, the C3 checkpoint coordination paths) or a failed
+non-blocking completion check (``Test``/``Iprobe`` spin loops) — and
+then yields control back to a single run loop.  Exactly one rank
+executes at any instant, so
+
+* the schedule is **deterministic**: runnable ranks are serviced from a
+  FIFO queue seeded in rank order, and blocked ranks are woken in rank
+  order, so a job's message matching, virtual clocks, and fault
+  delivery points are a pure function of the program and the fault
+  plan — every run of the same job is bit-identical;
+* the mailbox needs **no locks and no condition variables**: all
+  matching state is mutated by whichever single task is running (the
+  engine binds each mailbox to the scheduler, replacing its condition
+  variable with a wakeup note into the run loop);
+* **wakeups are exact**: a delivery or notification marks the target
+  rank dirty, and the run loop re-evaluates only dirty ranks' wait
+  predicates, resuming exactly the ranks whose predicate became true
+  (or that have a due fault to observe) — there are no notify-all
+  storms and no timeout polls;
+* **deadlock is detected instantly**: when every live rank is blocked
+  and no wait predicate holds, no future delivery can occur (only
+  ranks send), so the scheduler declares deadlock immediately instead
+  of burning the wall-clock watchdog timeout.
+
+CPython cannot suspend an arbitrary call stack (no first-class
+continuations, and ``greenlet`` is not a dependency), so each fiber is
+*carried* by a parked OS thread with a small stack: the carrier blocks
+on a private semaphore whenever its task is not scheduled, and the
+run-loop/task handoff is two semaphore operations.  The cooperative
+discipline — one runner at a time, explicit yield points — is what
+delivers the determinism and the scalability; the carrier threads are
+an implementation detail that never run concurrently.  This is what
+lets platform models run at the paper's true process counts (256+ ranks
+sweep in :mod:`repro.harness.scaling`) instead of the downscaled 4/8/16
+used by the original thread-per-rank engine.
+
+Rank code must reach its blocking points *through the simulated MPI
+layer*: a task that blocks on a bare OS primitive (``Event.wait``,
+``time.sleep`` loops) stalls the run loop, because it parks the only
+running carrier without yielding.  The scheduler guards against this
+with a handoff timeout slightly beyond the job's wall deadline — the
+stuck rank is abandoned (its daemon carrier leaks) and the job aborts
+with an engine-watchdog error, mirroring the threaded backend's
+behavior for ranks that never terminate.
+
+See DESIGN.md section 4 for the execution-model contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from .errors import DeadlockError, JobAborted
+
+#: task states
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_YIELDED = "yielded"
+_DONE = "done"
+
+
+class RankTask:
+    """One rank's fiber: a parked carrier thread plus scheduling state."""
+
+    __slots__ = ("rank", "sem", "thread", "state", "predicate", "leaked")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        #: the carrier parks here whenever the task is not scheduled
+        self.sem = threading.Semaphore(0)
+        self.thread: Optional[threading.Thread] = None
+        self.state = _YIELDED
+        #: wait predicate registered by the current blocking operation
+        self.predicate: Optional[Callable[[], bool]] = None
+        #: True once the watchdog abandoned a non-yielding task
+        self.leaked = False
+
+
+class CooperativeScheduler:
+    """Single run loop advancing one rank fiber at a time."""
+
+    #: carrier-thread stack size: tasks never recurse deeply, and with
+    #: one runner at a time there is no per-thread working set beyond
+    #: the (lazily committed) stack — 512 KiB is half the threaded
+    #: backend's 1 MiB and bounds a 1024-rank job to 0.5 GiB of
+    #: *virtual* address space
+    STACK_BYTES = 512 << 10
+
+    #: extra wall-clock grace beyond the job deadline before the run
+    #: loop abandons a task that never yields (non-MPI blocking call)
+    HANDOFF_GRACE = 30.0
+
+    def __init__(self, engine):
+        self.engine = engine
+        #: the run loop parks here while a task runs
+        self._main = threading.Semaphore(0)
+        self._current: Optional[RankTask] = None
+        #: ranks whose mailbox saw activity since they blocked
+        self._dirty: Set[int] = set()
+        self._blocked: Dict[int, RankTask] = {}
+        #: set when every live rank is blocked with no wakeup possible;
+        #: observed by parked tasks, which unwind with DeadlockError
+        self.deadlocked = False
+        self._deadlock_ranks: List[int] = []
+        self._tasks: List[RankTask] = []
+        #: statistics: fiber context switches performed
+        self.switches = 0
+
+    # -- wakeup notes (called from mailboxes, possibly off-loop) -----------
+    def mailbox_activity(self, rank: int) -> None:
+        """Note a delivery/notification for ``rank`` (its wait predicate
+        may have become true); ``set.add`` is atomic, so faults signalled
+        from the engine's abort path are safe too."""
+        self._dirty.add(rank)
+
+    # -- task-side suspension points ---------------------------------------
+    def wait(self, predicate: Callable[[], bool],
+             poll: Optional[Callable[[], None]] = None) -> None:
+        """Cooperative :meth:`Mailbox.wait_for`: park until the predicate
+        holds or the job aborts/deadlocks.
+
+        Semantics match the threaded wait loop exactly: the predicate is
+        checked before the abort flag (an operation whose match already
+        arrived completes even under abort), and ``poll`` runs on every
+        wakeup in the task's own context so due faults and deadline
+        errors raise on the right rank.
+        """
+        task = self._current
+        abort = self.engine.abort_event
+        while True:
+            if predicate():
+                return
+            if abort.is_set():
+                raise JobAborted()
+            if self.deadlocked:
+                raise DeadlockError(self._deadlock_message())
+            if poll is not None:
+                poll()
+                if predicate():
+                    return
+            task.predicate = predicate
+            self._park(task, _BLOCKED)
+
+    def yield_now(self) -> None:
+        """Fairness point: hand the loop one turn, stay runnable.
+
+        Called on failed non-blocking completion checks so ``Test`` /
+        ``Iprobe`` spin loops let their peers progress instead of
+        monopolizing the single runner.
+        """
+        task = self._current
+        if task is not None:
+            self._park(task, _YIELDED)
+
+    def _park(self, task: RankTask, state: str) -> None:
+        task.state = state
+        self._main.release()
+        task.sem.acquire()
+        task.state = _RUNNING
+
+    def _deadlock_message(self) -> str:
+        return (f"cooperative deadlock: all live ranks blocked with no "
+                f"matching traffic possible "
+                f"(blocked ranks: {self._deadlock_ranks})")
+
+    # -- carriers ------------------------------------------------------------
+    def _start_carriers(self, body: Callable[[int], None]) -> None:
+        def carrier(task: RankTask) -> None:
+            task.sem.acquire()          # wait to be scheduled the first time
+            task.state = _RUNNING
+            try:
+                body(task.rank)         # never raises (engine worker wrapper)
+            finally:
+                task.state = _DONE
+                self._main.release()
+
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(self.STACK_BYTES)
+        except (ValueError, RuntimeError):  # pragma: no cover - platform quirk
+            pass
+        try:
+            for task in self._tasks:
+                task.thread = threading.Thread(
+                    target=carrier, args=(task,), daemon=True,
+                    name=f"coop-rank-{task.rank}")
+                task.thread.start()
+        finally:
+            try:
+                threading.stack_size(old_stack)
+            except (ValueError, RuntimeError):  # pragma: no cover
+                pass
+
+    def _switch_to(self, task: RankTask, deadline: float) -> bool:
+        """Resume a task until it parks; False if it had to be abandoned."""
+        self._current = task
+        self.switches += 1
+        task.sem.release()
+        while True:
+            budget = max(1.0, deadline + self.HANDOFF_GRACE
+                         - _time.monotonic())
+            if self._main.acquire(timeout=budget):
+                if task.state != _RUNNING:
+                    return True
+                # phantom permit from a previously abandoned task that
+                # finally parked; swallow it and keep waiting
+                continue  # pragma: no cover - degraded mode
+            # The task never yielded: it is stuck in a non-MPI blocking
+            # call or an unbounded compute.  Abandon it (daemon carrier
+            # leaks) and fail the job like the threaded watchdog would.
+            task.leaked = True  # pragma: no cover - degraded mode
+            return False  # pragma: no cover
+
+    # -- the run loop ----------------------------------------------------------
+    def run(self, body: Callable[[int], None], deadline: float,
+            errors: List) -> None:
+        """Execute ``body(rank)`` for every rank to completion."""
+        engine = self.engine
+        self._tasks = [RankTask(r) for r in range(engine.nprocs)]
+        runnable: Deque[RankTask] = deque(self._tasks)
+        blocked = self._blocked
+        abort = engine.abort_event
+        self._start_carriers(body)
+        live = engine.nprocs
+
+        while live:
+            wall_expired = _time.monotonic() > deadline
+            if abort.is_set() or wall_expired:
+                # Wake everything: blocked tasks observe the abort flag
+                # (JobAborted) or the expired deadline (their poll's
+                # check_deadline raises DeadlockError and aborts).
+                for r in sorted(blocked):
+                    runnable.append(blocked.pop(r))
+                self._dirty.clear()
+            elif self._dirty:
+                # Exact wakeups: only dirty ranks are re-examined, and
+                # only those whose predicate holds (or that must observe
+                # a due fault) are resumed — in rank order.
+                wake = self._dirty & blocked.keys()
+                self._dirty.clear()
+                contexts = engine.rank_contexts
+                for r in sorted(wake):
+                    task = blocked[r]
+                    if task.predicate() or contexts[r].has_due_fault:
+                        del blocked[r]
+                        runnable.append(task)
+            if not runnable:
+                if not blocked:  # pragma: no cover - defensive
+                    break
+                # Every live rank is blocked and no predicate holds: no
+                # rank can ever deliver again — instant deadlock.  Wake
+                # them so each unwinds with DeadlockError/JobAborted.
+                self.deadlocked = True
+                self._deadlock_ranks = sorted(blocked)
+                for r in sorted(blocked):
+                    runnable.append(blocked.pop(r))
+                continue
+            task = runnable.popleft()
+            if task.state == _DONE:  # pragma: no cover - defensive
+                continue
+            if not self._switch_to(task, deadline):
+                # Abandoned a stuck task: abort the job and stop
+                # trusting the cooperative invariant for it.
+                errors.append((  # pragma: no cover - degraded mode
+                    -1,
+                    f"cooperative engine watchdog: rank {task.rank} never "
+                    f"yielded (blocked outside the simulated MPI layer?)"))
+                engine.abort(None)  # pragma: no cover
+                live -= 1  # pragma: no cover
+                continue  # pragma: no cover
+            if task.state == _DONE:
+                live -= 1
+            elif task.state == _BLOCKED:
+                blocked[task.rank] = task
+            else:  # _YIELDED: round-robin to the back of the queue
+                runnable.append(task)

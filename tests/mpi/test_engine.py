@@ -190,7 +190,8 @@ class TestRankStacks:
 
         monkeypatch.setattr(threading, "stack_size", recording_stack_size)
         monkeypatch.setattr(threading.Thread, "start", recording_start)
-        result = run_job(2, lambda mpi: mpi.rank, wall_timeout=30)
+        result = run_job(2, lambda mpi: mpi.rank, wall_timeout=30,
+                         engine="threads")
         assert result.returns == [0, 1]
 
         set_idx = next(i for i, (kind, a) in enumerate(events)
@@ -212,11 +213,15 @@ class TestAbortUnification:
         def main(mpi):
             if mpi.rank == 1:
                 raise ValueError("boom")
+            # Blocks on a bare OS event (not a simulated-MPI wait), so this
+            # regression is only expressible on the free-running threaded
+            # backend; the cooperative equivalent lives in
+            # tests/mpi/test_cooperative.py.
             assert mpi._ctx.engine.abort_event.wait(timeout=30)
             mpi.COMM_WORLD.Send(np.zeros(1), dest=0, tag=0)
             return "survived"
 
-        result = run_job(2, main, wall_timeout=60)
+        result = run_job(2, main, wall_timeout=60, engine="threads")
         assert result.errors and result.errors[0][0] == 1
         assert result.returns[0] is None  # unwound, did not outlive the abort
 
