@@ -36,5 +36,13 @@ APPS = {
     "heat": heat,
 }
 
+# precompiler-instrumented variants (imported late: instrumented.py pulls
+# in core.ccc, which imports this package's kernels through the registry
+# consumers only, so the dict above must exist first)
+from .instrumented import HANDWRITTEN_COUNTERPART, INSTRUMENTED_APPS  # noqa: E402
+
+APPS.update(INSTRUMENTED_APPS)
+
 __all__ = ["cg", "lu", "sp", "bt", "mg", "ep", "ft", "is_sort", "smg2000",
-           "hpl", "ring", "heat", "APPS"]
+           "hpl", "ring", "heat", "APPS", "INSTRUMENTED_APPS",
+           "HANDWRITTEN_COUNTERPART"]

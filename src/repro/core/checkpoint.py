@@ -154,6 +154,7 @@ def commit_checkpoint(p: "C3Protocol") -> None:
     p._writer = None
     p.control.forget_line(p.epoch)
     p.stats.checkpoints_committed += 1
+    p.stats.last_committed_bytes = writer.bytes_written
     p.stats.last_commit_time = p.mpi.Wtime()
 
 

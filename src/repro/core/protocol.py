@@ -135,6 +135,10 @@ class C3Stats:
     checkpoints_started: int = 0
     checkpoints_committed: int = 0
     last_checkpoint_bytes: int = 0
+    #: total bytes of the last *committed* line (app state + registries +
+    #: log) — unlike ``last_checkpoint_bytes``, never reflects a line
+    #: that was started but never made it to stable storage
+    last_committed_bytes: int = 0
     last_log_bytes: int = 0
     suppressed_sends: int = 0
     replayed_from_log: int = 0

@@ -49,7 +49,12 @@ _SCALING_EXPORTS = frozenset({
     "measure_scaling_point", "render_scaling", "scaling_cell",
     "scaling_rows",
 })
-__all__ += sorted(_CAMPAIGN_EXPORTS) + sorted(_SCALING_EXPORTS)
+_SIZES_EXPORTS = frozenset({
+    "SIZES_PARAMS", "SIZES_PLATFORMS", "measure_kernel_sizes",
+    "render_sizes", "table_sizes_rows",
+})
+__all__ += (sorted(_CAMPAIGN_EXPORTS) + sorted(_SCALING_EXPORTS)
+            + sorted(_SIZES_EXPORTS))
 
 
 def __getattr__(name: str):
@@ -59,4 +64,7 @@ def __getattr__(name: str):
     if name in _SCALING_EXPORTS:
         from . import scaling
         return getattr(scaling, name)
+    if name in _SIZES_EXPORTS:
+        from . import sizes
+        return getattr(sizes, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,73 +7,107 @@ the programmer makes are directives.  The Python reproduction supports:
   state; every read/write is redirected to ``ctx.state``;
 * ``# ccc: setup-end`` — everything above this line (after the docstring)
   is one-time initialization, skipped when restarting from a checkpoint;
-* ``# ccc: loop(name)`` — the next ``for`` statement becomes a resumable
-  loop (its ``range`` is rewritten to ``ctx.range``);
+* ``# ccc: loop(name)`` — the next ``for``/``while`` statement becomes a
+  resumable loop (``range`` is rewritten to ``ctx.range``, a ``while``
+  condition is re-evaluated under a persisted ``ctx.while_range``
+  counter); named loops nest, and the persisted counters form the
+  checkpoint's loop-position stack;
+* ``# ccc: call(name)`` — the next assignment of a function-call result
+  is wrapped in a call-guard: the call runs once per job lifetime, its
+  targets become saved variables, and a restarted run skips the call and
+  reuses the checkpointed result (the paper's function-instrumentation
+  analog for expensive one-time calls);
 * ``# ccc: checkpoint`` — the ``#pragma ccc checkpoint`` site.
 
 Directives must stand on their own line.  :func:`preprocess` rewrites
 them into sentinel statements the AST transformer can see (comments do
-not survive parsing), preserving line numbers exactly.
+not survive parsing), preserving line numbers exactly.  The source is
+*tokenized*, not line-scanned, so directive-looking text inside a
+docstring or any multi-line string literal is left untouched — only real
+``COMMENT`` tokens are rewritten.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from typing import List, Tuple
-
+import tokenize
+from typing import Tuple
 
 class DirectiveError(Exception):
     """A malformed ``# ccc:`` directive."""
 
 
-_DIRECTIVE_RE = re.compile(r"^(\s*)#\s*ccc:\s*(.+?)\s*$")
+_COMMENT_RE = re.compile(r"^#\s*ccc:\s*(.+?)\s*$")
 _SAVE_RE = re.compile(r"^save\(\s*([A-Za-z_][\w\s,]*)\)$")
 _LOOP_RE = re.compile(r"^loop\(\s*([A-Za-z_]\w*)\s*\)$")
+_CALL_RE = re.compile(r"^call\(\s*([A-Za-z_]\w*)\s*\)$")
 
 #: sentinel function names consumed by the AST pass
 SENTINEL_SAVE = "__ccc_save__"
 SENTINEL_SETUP_END = "__ccc_setup_end__"
 SENTINEL_LOOP = "__ccc_loop__"
+SENTINEL_CALL = "__ccc_call__"
+
+#: every sentinel name (the transformer rejects leftovers after its pass)
+SENTINELS = (SENTINEL_SAVE, SENTINEL_SETUP_END, SENTINEL_LOOP, SENTINEL_CALL)
+
+
+def _render(body: str, indent: str, lineno: int) -> str:
+    """One directive body -> its sentinel statement."""
+    if body == "checkpoint":
+        return f"{indent}ctx.checkpoint()"
+    if body == "setup-end":
+        return f"{indent}{SENTINEL_SETUP_END}()"
+    sm = _SAVE_RE.match(body)
+    if sm:
+        names = [n.strip() for n in sm.group(1).split(",") if n.strip()]
+        if not names:
+            raise DirectiveError(f"line {lineno}: empty save() list")
+        args = ", ".join(repr(n) for n in names)
+        return f"{indent}{SENTINEL_SAVE}({args})"
+    lm = _LOOP_RE.match(body)
+    if lm:
+        return f"{indent}{SENTINEL_LOOP}({lm.group(1)!r})"
+    cm = _CALL_RE.match(body)
+    if cm:
+        return f"{indent}{SENTINEL_CALL}({cm.group(1)!r})"
+    raise DirectiveError(
+        f"line {lineno}: unknown ccc directive {body!r}"
+    )
 
 
 def preprocess(source: str) -> Tuple[str, int]:
     """Rewrite directive comments into sentinel statements.
 
     Returns (new_source, directive_count).  Line numbers are preserved:
-    each directive line is replaced in place.
+    each directive line is replaced in place.  Directives are recognized
+    from the token stream, so ``# ccc:`` text inside a string literal
+    (docstrings included) is not a directive.
     """
-    out: List[str] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError) as exc:
+        raise DirectiveError(f"cannot tokenize source: {exc}") from None
     count = 0
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _DIRECTIVE_RE.match(line)
-        if m is None:
-            if "# ccc" in line and "ccc:" in line.replace(" ", ""):
-                raise DirectiveError(
-                    f"line {lineno}: a ccc directive must stand on its own "
-                    f"line: {line.strip()!r}"
-                )
-            out.append(line)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
             continue
-        indent, body = m.group(1), m.group(2)
-        count += 1
-        if body == "checkpoint":
-            out.append(f"{indent}ctx.checkpoint()")
-        elif body == "setup-end":
-            out.append(f"{indent}{SENTINEL_SETUP_END}()")
-        else:
-            sm = _SAVE_RE.match(body)
-            if sm:
-                names = [n.strip() for n in sm.group(1).split(",") if n.strip()]
-                if not names:
-                    raise DirectiveError(f"line {lineno}: empty save() list")
-                args = ", ".join(repr(n) for n in names)
-                out.append(f"{indent}{SENTINEL_SAVE}({args})")
-                continue
-            lm = _LOOP_RE.match(body)
-            if lm:
-                out.append(f"{indent}{SENTINEL_LOOP}({lm.group(1)!r})")
-                continue
+        m = _COMMENT_RE.match(tok.string)
+        row, col = tok.start
+        if m is None:
+            if tok.string.replace(" ", "").startswith("#ccc:"):
+                raise DirectiveError(
+                    f"line {row}: malformed ccc directive "
+                    f"{tok.string.strip()!r}"
+                )
+            continue
+        if lines[row - 1][:col].strip():
             raise DirectiveError(
-                f"line {lineno}: unknown ccc directive {body!r}"
+                f"line {row}: a ccc directive must stand on its own "
+                f"line: {lines[row - 1].strip()!r}"
             )
-    return "\n".join(out), count
+        count += 1
+        lines[row - 1] = _render(m.group(1), lines[row - 1][:col], row)
+    return "\n".join(lines), count

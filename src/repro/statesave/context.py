@@ -41,6 +41,37 @@ class StateError(Exception):
     """Invalid use of the checkpointable state."""
 
 
+def _phase_key(loop_name: str, phase_name: str) -> str:
+    """Phase-marker state key.  The ``::`` delimiter cannot appear in a
+    loop name, so clearing one loop's markers by prefix can never touch
+    another loop whose name merely starts with this one's."""
+    return f"__phase_{loop_name}::{phase_name}"
+
+
+def _canonical_position(v: Any) -> Optional[tuple]:
+    """A stored loop-completion token, canonicalized for comparison
+    (serializer round-trips may turn tuples into lists)."""
+    if v is None:
+        return None
+    try:
+        return tuple((str(n), int(i)) for n, i in v)
+    except (TypeError, ValueError):
+        return None
+
+
+def _value_nbytes(v: Any) -> int:
+    """Approximate checkpoint payload bytes of one state value."""
+    if isinstance(v, np.ndarray):
+        return v.nbytes
+    if isinstance(v, (bytes, bytearray, str)):
+        return len(v)
+    if isinstance(v, (list, tuple)):
+        return sum(_value_nbytes(x) for x in v)
+    if isinstance(v, dict):
+        return sum(_value_nbytes(x) for x in v.values())
+    return 16
+
+
 class AppState:
     """Dict-like checkpointable variable set with attribute access."""
 
@@ -100,16 +131,12 @@ class AppState:
 
     @property
     def nbytes(self) -> int:
-        """Approximate bytes a checkpoint of this state would hold."""
-        total = 0
-        for v in self._values.values():
-            if isinstance(v, np.ndarray):
-                total += v.nbytes
-            elif isinstance(v, (bytes, bytearray, str)):
-                total += len(v)
-            else:
-                total += 16
-        return total
+        """Approximate payload bytes a checkpoint of this state would hold.
+
+        Containers are counted recursively (instrumented kernels keep
+        e.g. a list of per-level grids as one saved variable).
+        """
+        return sum(_value_nbytes(v) for v in self._values.values())
 
 
 class RawCommAdapter:
@@ -200,6 +227,9 @@ class Context:
         self.restored = False
         self._pragma_hook = pragma_hook
         self.pragma_count = 0
+        #: runtime stack of the named loops currently executing (rebuilt
+        #: by re-execution after a restore; not part of the checkpoint)
+        self._active_loops: list = []
 
     # -- identity ------------------------------------------------------------
     @property
@@ -234,6 +264,22 @@ class Context:
             self._pragma_hook(force=force)
 
     # -- resumable control flow ------------------------------------------------------
+    # Named loops carry two pieces of persisted state:
+    #
+    # * ``__loop_<name>`` — the live iteration counter.  The set of live
+    #   counters at a checkpoint is exactly the loop-position stack: a
+    #   restore resumes every enclosing marked loop at its saved index.
+    # * ``__loopfin_<name>`` — a *completion token*: the enclosing loop
+    #   position (tuple of (loop, index) pairs) at which the loop last
+    #   ran to completion.  Post-restore re-execution that reaches the
+    #   loop again *at that same position* skips it (it already ran
+    #   before the checkpoint), while a new enclosing iteration — a
+    #   fresh dynamic instance — runs it from the start.
+    #
+    # Every enclosing loop of a marked loop must itself be marked (the
+    # precompiler enforces this), otherwise the enclosing position is
+    # invisible to the token.
+
     def range(self, name: str, start: int, stop: Optional[int] = None,
               step: int = 1) -> Iterator[int]:
         """Resumable ``range``; the counter persists in ``ctx.state``."""
@@ -242,13 +288,85 @@ class Context:
         if step <= 0:
             raise StateError("ctx.range requires a positive step")
         key = f"__loop_{name}"
+        self._check_not_running(name)
+        enclosing = self._loop_position()
+        if self._completed_here(name, key, enclosing):
+            return
         i = int(self.state.get(key, start))
-        while i < stop:
-            self.state[key] = i
-            yield i
-            # Re-read: the body may have been restored to a different epoch.
-            i = int(self.state[key]) + step
-        self.state[key] = i
+        self._active_loops.append(name)
+        try:
+            while i < stop:
+                self.state[key] = i
+                yield i
+                # Re-read: the body may have been restored to a different epoch.
+                i = int(self.state[key]) + step
+        finally:
+            self._exit_loop(name, enclosing)
+
+    def while_range(self, name: str) -> Iterator[int]:
+        """Resumable unbounded counter backing instrumented ``while`` loops.
+
+        The precompiler rewrites ``# ccc: loop(w)`` + ``while cond:`` into
+        ``for _ in ctx.while_range("w"): if not cond: break`` — the
+        counter persists like :meth:`range`'s and the condition (over
+        saved state) is re-evaluated at the top of every iteration.
+        """
+        key = f"__loop_{name}"
+        self._check_not_running(name)
+        enclosing = self._loop_position()
+        if self._completed_here(name, key, enclosing):
+            return
+        i = int(self.state.get(key, 0))
+        self._active_loops.append(name)
+        try:
+            while True:
+                self.state[key] = i
+                yield i
+                i = int(self.state[key]) + 1
+        finally:
+            self._exit_loop(name, enclosing)
+
+    def _check_not_running(self, name: str) -> None:
+        """A loop name may not be re-entered while that loop still runs —
+        the counter key would be shared between the two instances."""
+        if name in self._active_loops:
+            raise StateError(
+                f"resumable loop {name!r} entered while already running "
+                "(loop names must be unique)"
+            )
+
+    def _loop_position(self) -> tuple:
+        """The current loop-position stack as ((name, index), ...)."""
+        return tuple((n, int(self.state[f"__loop_{n}"]))
+                     for n in self._active_loops)
+
+    def _completed_here(self, name: str, key: str, enclosing: tuple) -> bool:
+        """Did this loop already complete at this exact position?
+
+        True only when the loop is not live (no counter to resume) and
+        its completion token matches the current enclosing position —
+        i.e. post-restore re-execution is passing over a loop that
+        finished before the checkpoint was taken.
+        """
+        if key in self.state:
+            return False
+        return _canonical_position(self.state.get(f"__loopfin_{name}")) \
+            == enclosing
+
+    def _exit_loop(self, name: str, enclosing: tuple) -> None:
+        """Leaving a loop (completion or ``break``): pop its counter and
+        phase markers, record the completion token."""
+        for idx in range(len(self._active_loops) - 1, -1, -1):
+            if self._active_loops[idx] == name:
+                del self._active_loops[idx]
+                break
+        key = f"__loop_{name}"
+        if key in self.state:
+            del self.state[key]
+        prefix = _phase_key(name, "")
+        for stale in [k for k in self.state if k.startswith(prefix)]:
+            del self.state[stale]
+        self.state[f"__loopfin_{name}"] = enclosing
 
     def first_time(self, name: str) -> bool:
         """True until :meth:`done` is called for ``name`` (survives restart)."""
@@ -276,13 +394,13 @@ class Context:
         if loop_key not in self.state:
             raise StateError(f"phase guard outside ctx.range({loop_name!r})")
         cur = int(self.state[loop_key])
-        marker = self.state.get(f"__phase_{loop_name}_{phase_name}", -1)
+        marker = self.state.get(_phase_key(loop_name, phase_name), -1)
         return int(marker) < cur
 
     def phase_done(self, loop_name: str, phase_name: str) -> None:
         """Mark the phase complete for the current iteration."""
         cur = int(self.state[f"__loop_{loop_name}"])
-        self.state[f"__phase_{loop_name}_{phase_name}"] = cur
+        self.state[_phase_key(loop_name, phase_name)] = cur
 
     # -- checkpoint plumbing (used by the C3 layer) --------------------------------------
     def snapshot_state(self) -> dict:

@@ -39,6 +39,11 @@ class IncrementalTracker:
         #: force a full save every N checkpoints to bound restore chains
         self.full_interval = full_interval
         self._digests: Dict[str, List[bytes]] = {}
+        #: tracked array geometry: name -> (dtype, shape, nbytes).  A delta
+        #: is only valid against an identical geometry — equal byte counts
+        #: are NOT enough (a dtype or shape change with the same nbytes
+        #: would silently flip the chain's metadata mid-stream).
+        self._geometry: Dict[str, Tuple[str, tuple, int]] = {}
         self._saves_since_full = 0
 
     # -- saving -------------------------------------------------------------
@@ -51,14 +56,17 @@ class IncrementalTracker:
         )
         record: dict = {"full": full, "arrays": {}}
         new_digests: Dict[str, List[bytes]] = {}
+        new_geometry: Dict[str, Tuple[str, tuple, int]] = {}
         for name, arr in arrays.items():
             raw = np.ascontiguousarray(arr).tobytes()
             digests = _page_digests(raw)
             new_digests[name] = digests
+            geometry = (arr.dtype.str, tuple(arr.shape), len(raw))
+            new_geometry[name] = geometry
             meta = {"dtype": arr.dtype.str, "shape": tuple(arr.shape),
                     "nbytes": len(raw)}
             if full or name not in self._digests or \
-                    len(self._digests[name]) != len(digests):
+                    self._geometry.get(name) != geometry:
                 record["arrays"][name] = {**meta, "kind": "full", "data": raw}
             else:
                 old = self._digests[name]
@@ -72,6 +80,7 @@ class IncrementalTracker:
             if name not in arrays:
                 record["arrays"][name] = {"kind": "deleted"}
         self._digests = new_digests
+        self._geometry = new_geometry
         self._saves_since_full = 0 if full else self._saves_since_full + 1
         return record
 
@@ -115,13 +124,14 @@ class IncrementalTracker:
                             f"delta for unknown array {name!r} (chain broken)"
                         )
                     buf = state[name]
-                    if len(buf) != entry["nbytes"]:
+                    if (len(buf) != entry["nbytes"]
+                            or meta[name] != (entry["dtype"],
+                                              tuple(entry["shape"]))):
                         raise IncrementalError(
                             f"geometry change for {name!r} without a full save"
                         )
                     for i, page in entry["pages"].items():
                         buf[i * PAGE:i * PAGE + len(page)] = page
-                    meta[name] = (entry["dtype"], tuple(entry["shape"]))
                 else:
                     raise IncrementalError(f"unknown record kind {entry['kind']!r}")
         out: Dict[str, np.ndarray] = {}

@@ -57,3 +57,66 @@ def test_non_directive_comments_untouched():
     src, n = preprocess("# a normal comment\nx = 1")
     assert n == 0
     assert src == "# a normal comment\nx = 1"
+
+
+def test_call_directive():
+    src, n = preprocess("# ccc: call(init)")
+    assert n == 1
+    assert src == "__ccc_call__('init')"
+
+
+def test_directive_inside_string_literal_untouched():
+    """Regression: the line-based scanner rewrote directive-looking text
+    inside multi-line string literals into executable code."""
+    original = 'x = """\n# ccc: checkpoint\n"""\n# ccc: checkpoint'
+    processed, n = preprocess(original)
+    lines = processed.splitlines()
+    assert n == 1
+    assert lines[1] == "# ccc: checkpoint"      # string content untouched
+    assert lines[3] == "ctx.checkpoint()"       # the real directive rewritten
+
+
+def test_directive_inside_docstring_untouched():
+    original = (
+        "def f(ctx):\n"
+        '    """Doc:\n'
+        "    # ccc: save(x)\n"
+        '    """\n'
+        "    # ccc: checkpoint\n"
+    )
+    processed, n = preprocess(original)
+    assert n == 1
+    assert "__ccc_save__" not in processed
+    assert processed.splitlines()[2] == "    # ccc: save(x)"
+
+
+def test_indented_string_directive_not_mistaken_for_trailing():
+    """A directive-looking line inside a string must not trigger the
+    'must stand on its own line' error either."""
+    src, n = preprocess("msg = '''\nx = 1  # ccc: checkpoint\n'''")
+    assert n == 0
+    assert "ctx.checkpoint" not in src
+
+
+def test_empty_directive_body_rejected():
+    with pytest.raises(DirectiveError, match="malformed"):
+        preprocess("# ccc:")
+
+
+def test_malformed_loop_args():
+    with pytest.raises(DirectiveError, match="unknown"):
+        preprocess("# ccc: loop()")
+    with pytest.raises(DirectiveError, match="unknown"):
+        preprocess("# ccc: loop(2bad)")
+
+
+def test_malformed_call_args():
+    with pytest.raises(DirectiveError, match="unknown"):
+        preprocess("# ccc: call()")
+    with pytest.raises(DirectiveError, match="unknown"):
+        preprocess("# ccc: call(a, b)")
+
+
+def test_malformed_save_args():
+    with pytest.raises(DirectiveError):
+        preprocess("# ccc: save(1bad)")

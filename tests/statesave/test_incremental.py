@@ -69,6 +69,44 @@ def test_geometry_change_forces_full_entry():
     assert rec["arrays"]["a"]["kind"] == "full"
 
 
+def test_dtype_change_same_nbytes_forces_full_entry():
+    """Regression: equal byte length is not equal geometry.  A dtype flip
+    with the same nbytes used to emit a delta whose metadata silently
+    changed the chain's dtype mid-stream; it must be a full entry."""
+    t = IncrementalTracker(full_interval=100)
+    a = np.arange(PAGE // 8, dtype=np.float64)
+    rec1 = t.encode({"a": a})
+    b = a.view(np.int64).copy()          # same nbytes, same raw bytes
+    rec2 = t.encode({"a": b})
+    assert rec2["arrays"]["a"]["kind"] == "full"
+    out = IncrementalTracker.decode_chain([rec1, rec2])
+    assert out["a"].dtype == np.int64
+    assert np.array_equal(out["a"], b)
+    # and the chain up to the dtype flip still restores the old view
+    out1 = IncrementalTracker.decode_chain([rec1])
+    assert out1["a"].dtype == np.float64
+    assert np.array_equal(out1["a"], a)
+
+
+def test_shape_change_same_nbytes_forces_full_entry():
+    t = IncrementalTracker(full_interval=100)
+    t.encode({"a": np.zeros((2, PAGE // 16))})
+    rec = t.encode({"a": np.zeros(PAGE // 8)})   # same nbytes, new shape
+    assert rec["arrays"]["a"]["kind"] == "full"
+
+
+def test_decode_rejects_geometry_flipping_delta():
+    """A (pre-fix) chain whose delta silently changes dtype must now be
+    rejected instead of reinterpreting the buffer."""
+    t = IncrementalTracker(full_interval=100)
+    a = np.arange(PAGE // 8, dtype=np.float64)
+    rec1 = t.encode({"a": a})
+    rec2 = t.encode({"a": a})                    # honest delta
+    rec2["arrays"]["a"]["dtype"] = "<i8"         # forged geometry flip
+    with pytest.raises(IncrementalError, match="geometry"):
+        IncrementalTracker.decode_chain([rec1, rec2])
+
+
 def test_chain_must_start_full():
     t = IncrementalTracker()
     a = np.zeros(PAGE // 8)
