@@ -161,7 +161,10 @@ def resume_from_manifest(app: Callable, nprocs: int,
     re-running the application from the beginning.
     """
     from ..storage.manifest import last_committed_global
-    line = last_committed_global(storage, nprocs)
+    # validate=True: torn lines (a crash mid-drain/mid-commit left a
+    # marker-less or truncated line) are invisible, exactly as they are
+    # to the per-rank restore scan.
+    line = last_committed_global(storage, nprocs, validate=True)
     if line is None and require_line:
         raise ProtocolError(
             f"storage holds no recovery line committed by all {nprocs} "

@@ -27,9 +27,17 @@ Paper mapping
   the handle tables (``handles``: Section 4.1/4.2/4.4), the message
   registries and the event log (Section 4.3's non-per-message
   non-determinism);
-* Section 6, Tables 4-7 — the costs charged here (serialization and
-  disk-write virtual time at start/commit, disk-read at restore) are
-  what the checkpoint-overhead and restart-cost tables measure;
+* Section 6, Tables 4-7 — the costs charged here (serialization always;
+  the in-line disk-write virtual time at start/commit under
+  ``C3Config(overlap=False)``, or a staging submission to the node's
+  background drain device on the default overlapped path; disk-read at
+  restore) are what the checkpoint-overhead and restart-cost tables
+  measure;
+* Section 6.4 — the overlapped write-back pipeline: staging returns
+  control to the rank immediately, the COMMIT marker (with a section
+  manifest + digests) is written when the virtual-time drain completes,
+  torn lines are rejected at restore, and superseded recovery lines are
+  garbage-collected at commit (DESIGN.md section 7);
 * DESIGN.md section 3 — the restart flow and the replay/suppression
   ordering during the re-execution that follows a restore.
 """
@@ -43,7 +51,7 @@ import numpy as np
 from ..mpi.matching import ANY_SOURCE, ANY_TAG
 from ..mpi.ops import MIN
 from ..statesave.checkpointfile import CheckpointReader, CheckpointWriter
-from ..storage.manifest import last_committed_local
+from ..storage.manifest import committed_versions, last_committed_local
 from .modes import Mode, ProtocolError
 from .registries import EarlyMessageRegistry, EventLog, LateMessageRegistry
 
@@ -76,6 +84,10 @@ def start_checkpoint(p: "C3Protocol") -> None:
         rest = {k: v for k, v in snap["state"].items()
                 if not isinstance(v, np.ndarray)}
         record = p._incremental.encode(arrays)
+        if record["full"]:
+            # a new chain anchor; GC may drop older lines once this
+            # line is committed everywhere
+            p._full_saves.append(line)
         writer.save("app", {**snap, "state": rest,
                             "incremental": record})
     else:
@@ -111,10 +123,21 @@ def start_checkpoint(p: "C3Protocol") -> None:
     # Request table: remember the line position, defer deallocations.
     p.reqtable.on_start_checkpoint()
     p.event_log.reset()
-    # Charge the time: serialization always, disk write in config #3.
+    # Charge the time: serialization always (it *is* the copy-on-write
+    # staging snapshot — the app may mutate its state freely afterwards).
     p.mpi.compute(writer.bytes_written / SERIALIZE_BANDWIDTH)
     if p.config.save_to_disk:
-        p.mpi.compute(p.machine.disk_write_time(writer.bytes_written))
+        if p.config.overlap:
+            # Overlapped write-back: hand the staged bytes to the node's
+            # drain device and return control immediately.  The device
+            # completes the write in background virtual time; the line
+            # can only commit once these bytes (and the commit-time log
+            # sections) are durable.
+            p._device.submit(p.rank, writer.bytes_written, p.mpi.Wtime())
+        else:
+            # In-line write (Tables 4-5 configuration #3): the rank
+            # blocks for the full local-disk write.
+            p.mpi.compute(p.machine.disk_write_time(writer.bytes_written))
     p._writer = writer
     p._timer_base = p.mpi.Wtime()
     p.stats.checkpoints_started += 1
@@ -131,7 +154,18 @@ def start_checkpoint(p: "C3Protocol") -> None:
 
 
 def commit_checkpoint(p: "C3Protocol") -> None:
-    """Figure 5, ``chkpt_CommitCheckpoint``."""
+    """Figure 5, ``chkpt_CommitCheckpoint``.
+
+    The *protocol* commit — registry saves and resets, request-table
+    shuffle, line bookkeeping — always happens here, at the virtual time
+    the late messages drained.  What the config decides is the *storage*
+    commit: the in-line path blocks for the log write and records the
+    COMMIT marker immediately; the overlapped path stages the log bytes
+    onto the node's drain device and defers the marker to
+    ``C3Protocol._poll_drains``, which writes it once the rank's clock
+    passes the drain-completion instant.  A kill in between leaves a
+    torn (marker-less) line that restore rejects.
+    """
     writer = p._writer
     if writer is None:
         raise ProtocolError("commit without an open checkpoint")
@@ -148,14 +182,19 @@ def commit_checkpoint(p: "C3Protocol") -> None:
     p.event_log.reset()
     # Commit checkpoint to disk; close checkpoint.
     p.mpi.compute(log_bytes / SERIALIZE_BANDWIDTH)
-    if p.config.save_to_disk:
-        p.mpi.compute(p.machine.disk_write_time(log_bytes))
-    writer.commit()
     p._writer = None
     p.control.forget_line(p.epoch)
-    p.stats.checkpoints_committed += 1
-    p.stats.last_committed_bytes = writer.bytes_written
-    p.stats.last_commit_time = p.mpi.Wtime()
+    if p.config.save_to_disk and p.config.overlap:
+        durable_at = p._device.submit(p.rank, log_bytes, p.mpi.Wtime())
+        p._pending.append((writer.version, writer, durable_at))
+        # The staging instant is itself a mid-drain fault point: every
+        # section is on storage, the COMMIT marker is not — a kill here
+        # (``in_drain`` specs) must leave a line restore rejects.
+        p.mpi._ctx.drain_fault_point(writer.version)
+        return
+    if p.config.save_to_disk:
+        p.mpi.compute(p.machine.disk_write_time(log_bytes))
+    p._durable_commit(writer, p.mpi.Wtime())
 
 
 def restore_checkpoint(p: "C3Protocol") -> bool:
@@ -169,8 +208,12 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
     p.recovering = True
     t_restore_start = p.mpi.Wtime()
     # Query the last local checkpoint committed to disk, then a global
-    # reduction for the last line committed on all nodes.
-    local = last_committed_local(p.storage, p.rank)
+    # reduction for the last line committed on all nodes.  ``validate``
+    # skips *torn* lines — a COMMIT manifest naming a missing, truncated,
+    # or digest-mismatched section (a crash mid-drain or mid-commit) —
+    # falling back to the previous committed line instead of restoring
+    # garbage.
+    local = last_committed_local(p.storage, p.rank, validate=True, deep=True)
     mine = np.array([local if local is not None else -1], dtype=np.int64)
     everyone = np.empty(1, dtype=np.int64)
     p.control.comm.Allreduce(mine, everyone, MIN)
@@ -213,6 +256,8 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
                     "incremental chain has no full save on stable storage")
             prev = CheckpointReader(p.storage, v, p.rank).load("app")
             records.insert(0, prev["incremental"])
+        # lines back to the chain's full save stay pinned against GC
+        p._full_saves = [v]
         arrays = IncrementalTracker.decode_chain(records)
         app_snap = {**app_snap,
                     "state": {**app_snap["state"], **arrays}}
@@ -254,6 +299,19 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
         entry.buffer = p.ctx.state[entry.state_key]
         dtype = p._named_handle(entry.dtype_name)
         p._post_recv(entry, centry, p.datatable.resolve(dtype))
+    # Storage bookkeeping for the commit/GC pipeline: lines newer than
+    # the restored one are pre-crash garbage — torn drains, or commits
+    # some dead rank never matched — that the re-execution will rewrite,
+    # so drop mine now rather than let stale sections shadow the fresh
+    # ones' accounting.  (The GC floor itself is re-read from the
+    # storage manifest at each durable commit.)
+    p._my_lines = [v for v in committed_versions(p.storage, p.rank)
+                   if v <= version]
+    if p.config.gc_lines:
+        from ..storage.manifest import delete_line, lines_on_storage
+        for v in lines_on_storage(p.storage).get(p.rank, []):
+            if v > version:
+                delete_line(p.storage, v, p.rank)
     # Charge the restore I/O time.
     p.mpi.compute(p.machine.disk_read_time(reader.total_bytes()))
     p.stats.restored_version = version

@@ -13,6 +13,15 @@ control traffic can never match application receives):
 Control messages are polled ("Check for control messages", Figure 4) at
 every protocol operation and at pragmas; they are never classified,
 logged, or suppressed.
+
+Deliberately *not* a control message: the committed floor that drives
+recovery-line garbage collection.  Durable commits are visible in the
+shared storage manifest, so GC reads it there
+(:meth:`repro.core.protocol.C3Protocol._gc_lines`) — broadcasting
+Line-Committed announcements instead would stamp them with the drain's
+late virtual times, and consuming one drags the receiver's clock
+forward, charging the background write right back into the application
+makespan the overlapped pipeline exists to protect.
 """
 
 from __future__ import annotations

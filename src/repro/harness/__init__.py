@@ -53,8 +53,12 @@ _SIZES_EXPORTS = frozenset({
     "SIZES_PARAMS", "SIZES_PLATFORMS", "measure_kernel_sizes",
     "render_sizes", "table_sizes_rows",
 })
+_OVERLAP_EXPORTS = frozenset({
+    "OVERLAP_KERNELS", "OVERLAP_PLATFORMS", "fault_rows", "overhead_rows",
+    "render_overlap",
+})
 __all__ += (sorted(_CAMPAIGN_EXPORTS) + sorted(_SCALING_EXPORTS)
-            + sorted(_SIZES_EXPORTS))
+            + sorted(_SIZES_EXPORTS) + sorted(_OVERLAP_EXPORTS))
 
 
 def __getattr__(name: str):
@@ -67,4 +71,7 @@ def __getattr__(name: str):
     if name in _SIZES_EXPORTS:
         from . import sizes
         return getattr(sizes, name)
+    if name in _OVERLAP_EXPORTS:
+        from . import overlap
+        return getattr(overlap, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

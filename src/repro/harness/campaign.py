@@ -25,6 +25,13 @@ timing                  kills
 ``epoch_boundary``      a rank the instant it advances to epoch 2
                         (``chkpt_StartCheckpoint`` ran, nothing committed)
 ``mid_collective``      a rank inside its 4th collective, mid-exchange
+``mid_drain``           a rank while line 1's staged bytes are still
+                        draining to the node disk (overlapped write-back:
+                        sections on storage, COMMIT not yet written — the
+                        torn line must be rejected at restore)
+``mid_commit``          a rank the instant line 1 becomes durable, right
+                        before its COMMIT marker is written (the
+                        narrowest tear window of the commit pipeline)
 ``storm``               every rank with per-operation probability, seeded
 ======================  ====================================================
 
@@ -148,6 +155,18 @@ def _kill_mid_collective(nprocs: int) -> List[dict]:
     return [{"rank": nprocs - 1, "in_collective": 4}]
 
 
+def _kill_mid_drain(nprocs: int) -> List[dict]:
+    # Line 1 is the first line every checkpointing kernel stages on every
+    # platform (the dense epoch_boundary cadence applies, see
+    # KILL_TIMINGS); the victim dies with the line's sections staged but
+    # its COMMIT unwritten — recovery must reject the torn line.
+    return [{"rank": 1 % nprocs, "in_drain": 1}]
+
+
+def _kill_mid_commit(nprocs: int) -> List[dict]:
+    return [{"rank": 0, "at_commit": 1}]
+
+
 def _kill_storm(nprocs: int) -> List[dict]:
     return [{"rank": r, "probability": 0.002} for r in range(nprocs)]
 
@@ -172,6 +191,8 @@ KILL_TIMINGS: Dict[str, Tuple[Callable[[int], List[dict]], bool, bool,
     "double": (_kill_double, True, False, None),
     "epoch_boundary": (_kill_epoch_boundary, True, False, 0.05),
     "mid_collective": (_kill_mid_collective, True, True, None),
+    "mid_drain": (_kill_mid_drain, True, False, 0.05),
+    "mid_commit": (_kill_mid_commit, True, False, 0.05),
     "storm": (_kill_storm, False, False, None),
 }
 
@@ -191,9 +212,15 @@ class Scenario:
     wall_timeout: float = 120.0
     #: engine backend (None = the default cooperative scheduler)
     engine: Optional[str] = None
+    #: stable-storage backend: "memory" (default) or "disk" (a fresh
+    #: tmpdir-rooted DiskStorage per execution phase — real files, real
+    #: atomic renames)
+    storage: str = "memory"
 
     @property
     def label(self) -> str:
+        if self.storage != "memory":
+            return f"{self.app}/{self.platform}/{self.kill}@{self.storage}"
         return f"{self.app}/{self.platform}/{self.kill}"
 
 
@@ -201,7 +228,8 @@ def build_matrix(apps: Sequence[str], platforms: Sequence[str],
                  kills: Sequence[str], nprocs: int = 4,
                  interval_frac: float = 0.2, seed: int = 0,
                  wall_timeout: float = 120.0,
-                 engine: Optional[str] = None) -> List[Scenario]:
+                 engine: Optional[str] = None,
+                 storage: str = "memory") -> List[Scenario]:
     """The scenario grid, skipping inapplicable combinations
     (``mid_collective`` on point-to-point-only apps)."""
     unknown = [a for a in apps if a not in APPS]
@@ -228,17 +256,19 @@ def build_matrix(apps: Sequence[str], platforms: Sequence[str],
                     kills=tuple(builder(nprocs)),
                     interval_frac=(frac_override if frac_override is not None
                                    else interval_frac),
-                    seed=seed, wall_timeout=wall_timeout, engine=engine))
+                    seed=seed, wall_timeout=wall_timeout, engine=engine,
+                    storage=storage))
     return scenarios
 
 
 def smoke_matrix(nprocs: int = 4, interval_frac: float = 0.2,
-                 seed: int = 0, engine: Optional[str] = None) -> List[Scenario]:
+                 seed: int = 0, engine: Optional[str] = None,
+                 storage: str = "memory") -> List[Scenario]:
     """The CI subset: every app kernel, one platform, kill timings
     rotated across apps so each deterministic timing appears several
     times — full kernel coverage in well under a minute."""
-    rotation = ("mid_run", "epoch_boundary", "mid_collective", "early",
-                "late", "double")
+    rotation = ("mid_run", "epoch_boundary", "mid_collective", "mid_drain",
+                "early", "late", "double", "mid_commit")
     scenarios = []
     for i, app in enumerate(APP_KERNELS):
         kill = rotation[i % len(rotation)]
@@ -247,7 +277,8 @@ def smoke_matrix(nprocs: int = 4, interval_frac: float = 0.2,
         scenarios.extend(build_matrix([app], ["testing"], [kill],
                                       nprocs=nprocs,
                                       interval_frac=interval_frac,
-                                      seed=seed, engine=engine))
+                                      seed=seed, engine=engine,
+                                      storage=storage))
     return scenarios
 
 
@@ -344,15 +375,38 @@ def _measure_scenario(scenario: Scenario) -> Dict:
     Scenario errors (a deadlocked run, a protocol assertion) become
     error records, so a broken cell neither aborts its ``run_cells``
     wave nor discards the pool's in-flight results for the rest.
+    ``storage="disk"`` scenarios run against fresh tmpdir-rooted
+    :class:`~repro.storage.stable.DiskStorage` backends (removed after
+    the measurement).
     """
     s = scenario
+    root = None
+    factory = None
+    if s.storage == "disk":
+        import tempfile
+
+        from ..storage.stable import DiskStorage
+
+        root = tempfile.mkdtemp(prefix="repro-campaign-")
+        seq = iter(range(1 << 30))
+        factory = lambda: DiskStorage(f"{root}/store{next(seq)}")  # noqa: E731
+    elif s.storage != "memory":
+        return _error_record(
+            s, ValueError(f"unknown storage backend {s.storage!r} "
+                          "(known: memory, disk)"))
     try:
         return measure_recovery(
             s.app, s.nprocs, MACHINES[s.platform], dict(s.params),
             [dict(k) for k in s.kills], interval_frac=s.interval_frac,
-            seed=s.seed, wall_timeout=s.wall_timeout, engine=s.engine)
+            seed=s.seed, wall_timeout=s.wall_timeout, engine=s.engine,
+            storage_factory=factory)
     except Exception as exc:  # noqa: BLE001 - verdict, not crash
         return _error_record(s, exc)
+    finally:
+        if root is not None:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
 
 
 def run_campaign(scenarios: Sequence[Scenario],
@@ -404,6 +458,7 @@ def render_campaign(rows: Sequence[Dict]) -> str:
             r["scenario"], "PASS" if r["passed"] else "FAIL",
             r.get("restarts", 0),
             r.get("checkpoints_committed"),
+            r.get("lines_retained"),
             _us(r.get("golden_seconds")),
             _us(r.get("restart_cost_seconds")),
             _us(r.get("restore_seconds")),
@@ -412,10 +467,10 @@ def render_campaign(rows: Sequence[Dict]) -> str:
         ])
     return render_table(
         "Recovery campaign: kill / restart / verify",
-        ["Scenario", "Verdict", "Restarts", "Ckpts", "Golden us",
+        ["Scenario", "Verdict", "Restarts", "Ckpts", "Held", "Golden us",
          "RestartCost us", "Restore us", "Replayed", "Suppressed"],
         table_rows,
-        widths=[30, 7, 8, 5, 10, 14, 10, 8, 10],
+        widths=[30, 7, 8, 5, 4, 10, 14, 10, 8, 10],
     )
 
 
@@ -453,6 +508,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     ap.add_argument("--engine", choices=["cooperative", "threads"],
                     help="execution backend (default: the cooperative "
                          "scheduler, or REPRO_ENGINE)")
+    ap.add_argument("--storage", choices=["memory", "disk"],
+                    default="memory",
+                    help="stable-storage backend per scenario: in-memory "
+                         "(default) or tmpdir-rooted real files")
     ap.add_argument("--interval-frac", type=float, default=0.2,
                     help="checkpoint interval as a fraction of the golden "
                          "runtime (default 0.2)")
@@ -486,7 +545,7 @@ def _select_matrix(args: argparse.Namespace) -> List[Scenario]:
         kills = args.kills.split(",") if args.kills else list(KILL_TIMINGS)
         return build_matrix(apps, platforms, kills, nprocs=args.nprocs,
                             interval_frac=args.interval_frac, seed=args.seed,
-                            engine=args.engine)
+                            engine=args.engine, storage=args.storage)
     if explicit:
         apps = args.apps.split(",") if args.apps else list(APP_KERNELS)
         platforms = (args.platforms.split(",") if args.platforms
@@ -495,10 +554,10 @@ def _select_matrix(args: argparse.Namespace) -> List[Scenario]:
                  else ["mid_run", "epoch_boundary", "mid_collective"])
         return build_matrix(apps, platforms, kills, nprocs=args.nprocs,
                             interval_frac=args.interval_frac, seed=args.seed,
-                            engine=args.engine)
+                            engine=args.engine, storage=args.storage)
     return smoke_matrix(nprocs=args.nprocs,
                         interval_frac=args.interval_frac, seed=args.seed,
-                        engine=args.engine)
+                        engine=args.engine, storage=args.storage)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

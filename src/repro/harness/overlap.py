@@ -1,0 +1,311 @@
+"""Overlapped write-back study: the extended Tables 4-5 configuration.
+
+Section 6.4 of the paper argues that checkpoint cost should be bounded
+by *protocol* work, not by the disk: write locally, drain asynchronously
+(the PSC daemon), and never block the application for the write.  The
+Tables 4-5 configuration study separates the two costs — #1 (no
+checkpoint), #2 (go through the motions, skip the write), #3 (in-line
+write) — and this driver adds the **overlapped** configuration: the
+production pipeline that stages the serialized sections onto the node's
+virtual-time drain device (:class:`repro.storage.drain.DrainDevice`) and
+writes the crash-consistent COMMIT marker only when the background drain
+completes.
+
+Two claims are gated (exit status 1 on violation):
+
+* **Overhead** — on every (platform, kernel) cell the overlapped
+  per-checkpoint overhead is *strictly below* the in-line configuration
+  #3, collapsing toward configuration #2: overlap hides the disk, so
+  what remains is serialization plus protocol work.
+* **Crash consistency & GC** — kill-mid-drain and kill-mid-commit
+  scenarios (a rank dies while line 2's staged bytes are in flight /
+  the instant before its COMMIT is written) must recover **bitwise**
+  from the *previous* committed line, and storage must retain at most
+  2 recovery lines per rank at the end (superseded lines
+  garbage-collected).
+
+Cells are sized for steady state: the checkpoint interval is a multiple
+of the platform's drain time, so commits and GC happen *during* the run
+(the regime the paper's daemon argument assumes) rather than piling into
+the end-of-job flush.
+
+Command line::
+
+    python -m repro.harness.overlap                     # all 3 platforms
+    python -m repro.harness.overlap --json BENCH_overlap.json
+    python -m repro.harness.overlap --platforms lemieux --kernels heat
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..mpi.timemodel import MACHINES
+from .runner import measure_c3, measure_recovery
+from .report import render_table
+
+__all__ = [
+    "OVERLAP_KERNELS", "OVERLAP_PLATFORMS", "fault_rows", "main",
+    "overhead_rows", "render_overlap",
+]
+
+#: the three platform models of the evaluation (Tables 4-5)
+OVERLAP_PLATFORMS = ("lemieux", "velocity2", "cmi")
+
+#: study kernels with steady-state-sized parameters: golden runtimes of
+#: tens of virtual milliseconds, so one checkpoint interval dwarfs the
+#: platform drain time (0.2-0.3 ms) and the pipeline reaches its
+#: commit-and-GC steady state inside the run
+OVERLAP_KERNELS: Dict[str, dict] = {
+    "heat": dict(local_n=64, niter=30, work_scale=2000.0),
+    "CG": dict(local_n=2048, nnz_per_row=8, niter=10),
+    "SMG2000": dict(local_n=24, levels=4, niter=6),
+}
+
+#: fault slice: kill during / at the end of line TORN_LINE's drain, so
+#: TORN_LINE - 1 is the previous committed line the recovery must fall
+#: back to (the gate checks this exactly)
+TORN_LINE = 2
+FAULT_KILLS: Dict[str, List[dict]] = {
+    "mid_drain": [{"rank": 1, "in_drain": TORN_LINE}],
+    "mid_commit": [{"rank": 0, "at_commit": TORN_LINE}],
+}
+
+
+def overhead_rows(platforms: Sequence[str] = OVERLAP_PLATFORMS,
+                  kernels: Optional[Sequence[str]] = None,
+                  nprocs: int = 4,
+                  engine: Optional[str] = None) -> List[Dict]:
+    """One gate-judged row per (platform, kernel) cell."""
+    names = list(kernels) if kernels else sorted(OVERLAP_KERNELS)
+    rows = []
+    for platform in platforms:
+        machine = MACHINES[platform]
+        for name in names:
+            params = OVERLAP_KERNELS[name]
+            cfg1 = measure_c3(name, nprocs, machine, params, checkpoints=0,
+                              engine=engine)
+            common = dict(checkpoints=1,
+                          reference_time=cfg1.virtual_seconds,
+                          engine=engine)
+            cfg2 = measure_c3(name, nprocs, machine, params,
+                              save_to_disk=False, **common)
+            cfg3 = measure_c3(name, nprocs, machine, params,
+                              save_to_disk=True, **common)
+            ovl = measure_c3(name, nprocs, machine, params,
+                             save_to_disk=True, overlap=True, **common)
+            row = {
+                "platform": platform,
+                "kernel": name,
+                "nprocs": nprocs,
+                "cfg1_s": cfg1.virtual_seconds,
+                "cfg2_s": cfg2.virtual_seconds,
+                "cfg3_s": cfg3.virtual_seconds,
+                "overlap_s": ovl.virtual_seconds,
+                "cfg2_cost_s": cfg2.virtual_seconds - cfg1.virtual_seconds,
+                "inline_cost_s": cfg3.virtual_seconds - cfg1.virtual_seconds,
+                "overlap_cost_s": ovl.virtual_seconds - cfg1.virtual_seconds,
+                "committed_inline": cfg3.checkpoints_committed,
+                "committed_overlap": ovl.checkpoints_committed,
+            }
+            row["failure"] = _judge_overhead(row)
+            row["passed"] = row["failure"] is None
+            rows.append(row)
+    return rows
+
+
+def _judge_overhead(row: Dict) -> Optional[str]:
+    """The overhead gate for one cell (None = pass)."""
+    if row["committed_inline"] < 1 or row["committed_overlap"] < 1:
+        return "no checkpoint committed (vacuous measurement)"
+    if not row["overlap_cost_s"] < row["inline_cost_s"]:
+        return (f"overlapped commit overhead not strictly below in-line "
+                f"({row['overlap_cost_s']:.6g}s >= "
+                f"{row['inline_cost_s']:.6g}s)")
+    return None
+
+
+def fault_rows(platforms: Sequence[str] = OVERLAP_PLATFORMS,
+               nprocs: int = 4, engine: Optional[str] = None) -> List[Dict]:
+    """Kill-mid-drain / kill-mid-commit recovery cells, gate-judged."""
+    rows = []
+    params = OVERLAP_KERNELS["heat"]
+    for platform in platforms:
+        machine = MACHINES[platform]
+        for kill_name, kills in FAULT_KILLS.items():
+            record = measure_recovery(
+                "heat", nprocs, machine, params,
+                [dict(k) for k in kills], interval_frac=0.18,
+                engine=engine)
+            row = {
+                "platform": platform,
+                "kill": kill_name,
+                **record,
+            }
+            row["failure"] = _judge_fault(row)
+            row["passed"] = row["failure"] is None
+            rows.append(row)
+    return rows
+
+
+def _judge_fault(row: Dict) -> Optional[str]:
+    """The crash-consistency + GC gate for one fault cell (None = pass)."""
+    if not row.get("fired"):
+        return "kill never fired (scenario vacuous)"
+    if not row["verified_recovery"]:
+        return "recovered results are not bitwise-equal to golden"
+    if not row["verified_clean"]:
+        return "clean C3 run diverged from the golden results"
+    if row.get("restored_version") != TORN_LINE - 1:
+        return (f"recovery restored from v{row.get('restored_version')} "
+                f"instead of falling back past the torn line {TORN_LINE} "
+                f"to v{TORN_LINE - 1}")
+    if row["lines_retained"] > 2:
+        return (f"GC left {row['lines_retained']} recovery lines on "
+                "storage (> 2 at steady state)")
+    return None
+
+
+def render_overlap(rows: Sequence[Dict]) -> str:
+    """Paper-layout text table of the overhead cells (virtual ms)."""
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r["platform"], r["kernel"], "PASS" if r["passed"] else "FAIL",
+            r["cfg1_s"] * 1e3, r["cfg2_s"] * 1e3, r["cfg3_s"] * 1e3,
+            r["overlap_s"] * 1e3,
+            r["inline_cost_s"] * 1e3, r["overlap_cost_s"] * 1e3,
+        ])
+    return render_table(
+        "Overlapped write-back vs in-line commit (Tables 4-5 extension; "
+        "virtual ms, one checkpoint)",
+        ["Platform", "Kernel", "Gate", "#1 ms", "#2 ms", "#3 ms", "Ovl ms",
+         "InlineCost", "OvlCost"],
+        table_rows, widths=[9, 8, 5, 9, 9, 9, 9, 11, 10],
+    )
+
+
+def render_faults(rows: Sequence[Dict]) -> str:
+    """Verdict table of the kill-mid-drain / kill-mid-commit cells."""
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            f"{r['platform']}/{r['kill']}",
+            "PASS" if r["passed"] else "FAIL",
+            r.get("restarts"), r.get("restored_version"),
+            r.get("checkpoints_committed"), r.get("lines_retained"),
+        ])
+    return render_table(
+        "Torn-line recovery: kill mid-drain / mid-commit",
+        ["Cell", "Gate", "Restarts", "RestoredV", "Committed", "Held"],
+        table_rows, widths=[24, 5, 8, 9, 9, 5],
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness.overlap",
+        description="Overlapped write-back study: per-checkpoint overhead "
+                    "of the production drain pipeline vs the in-line "
+                    "Tables 4-5 configuration #3, plus kill-mid-drain / "
+                    "kill-mid-commit torn-line recovery; exits non-zero "
+                    "if overlap is not strictly cheaper on every cell or "
+                    "any fault cell fails to recover bitwise with <= 2 "
+                    "retained lines.")
+    ap.add_argument("--platforms",
+                    help="comma-separated platform models "
+                         f"(default: {', '.join(OVERLAP_PLATFORMS)})")
+    ap.add_argument("--kernels",
+                    help="comma-separated kernels "
+                         f"(default: {', '.join(sorted(OVERLAP_KERNELS))})")
+    ap.add_argument("--nprocs", type=int, default=4,
+                    help="simulated ranks per run (default 4)")
+    ap.add_argument("--engine", choices=["cooperative", "threads"],
+                    help="execution backend (default: cooperative)")
+    ap.add_argument("--skip-faults", action="store_true",
+                    help="overhead cells only (no kill/restart slice)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the machine-readable report here")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    return ap.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    platforms = (args.platforms.split(",") if args.platforms
+                 else list(OVERLAP_PLATFORMS))
+    kernels = args.kernels.split(",") if args.kernels else None
+    unknown = [p for p in platforms if p not in MACHINES]
+    if unknown:
+        print(f"unknown platforms: {unknown}; have {sorted(MACHINES)}",
+              file=sys.stderr)
+        return 2
+    if kernels:
+        unknown = [k for k in kernels if k not in OVERLAP_KERNELS]
+        if unknown:
+            print(f"unknown kernels: {unknown}; "
+                  f"have {sorted(OVERLAP_KERNELS)}", file=sys.stderr)
+            return 2
+
+    t0 = time.time()
+    o_rows = overhead_rows(platforms, kernels, nprocs=args.nprocs,
+                           engine=args.engine)
+    if not args.quiet:
+        for r in o_rows:
+            verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
+            print(f"{verdict} {r['platform']}/{r['kernel']}: "
+                  f"inline={r['inline_cost_s'] * 1e3:.3f}ms "
+                  f"overlap={r['overlap_cost_s'] * 1e3:.3f}ms", flush=True)
+    f_rows = []
+    if not args.skip_faults:
+        f_rows = fault_rows(platforms, nprocs=args.nprocs,
+                            engine=args.engine)
+        if not args.quiet:
+            for r in f_rows:
+                verdict = ("PASS" if r["passed"]
+                           else f"FAIL ({r['failure']})")
+                print(f"{verdict} {r['platform']}/{r['kill']}: "
+                      f"restored=v{r.get('restored_version')} "
+                      f"held={r.get('lines_retained')}", flush=True)
+    wall = time.time() - t0
+
+    print()
+    print(render_overlap(o_rows))
+    if f_rows:
+        print()
+        print(render_faults(f_rows))
+    failures = ([f"{r['platform']}/{r['kernel']}"
+                 for r in o_rows if not r["passed"]]
+                + [f"{r['platform']}/{r['kill']}"
+                   for r in f_rows if not r["passed"]])
+    summary = {
+        "overhead_cells": len(o_rows),
+        "fault_cells": len(f_rows),
+        "passed": len(o_rows) + len(f_rows) - len(failures),
+        "failed": failures,
+        "wall_seconds": wall,
+    }
+    print(f"\n{summary['passed']}/{len(o_rows) + len(f_rows)} cells within "
+          f"the overlap gates ({wall:.1f}s wall)")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump({"summary": summary, "overhead": o_rows,
+                       "faults": f_rows}, f, indent=2, default=str)
+        print(f"wrote {args.json}")
+    if failures:
+        print("FAILED cells:", ", ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

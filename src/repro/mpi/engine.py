@@ -227,6 +227,25 @@ class RankContext:
         """
         self.engine.fault_plan.note_epoch(self.rank, epoch, self.clock.now)
 
+    def drain_fault_point(self, version: int) -> None:
+        """Mid-drain check point (``in_drain`` fault specs).
+
+        Called by the C3 layer whenever this rank observes that recovery
+        line ``version`` is still draining to the node disk — sections
+        staged, COMMIT marker not yet written.  A kill here leaves a torn
+        line that restore must reject.
+        """
+        self.engine.fault_plan.note_drain(self.rank, version, self.clock.now)
+
+    def commit_fault_point(self, version: int) -> None:
+        """Commit-instant check point (``at_commit`` fault specs).
+
+        Called by the C3 layer the moment line ``version``'s staged bytes
+        are durable, immediately *before* the COMMIT marker is written —
+        the narrowest tear window of the pipeline.
+        """
+        self.engine.fault_plan.note_commit(self.rank, version, self.clock.now)
+
     # -- virtual-time fault delivery -----------------------------------------
     @property
     def has_due_fault(self) -> bool:
@@ -315,6 +334,11 @@ class Engine:
         self.machine = machine
         self.seed = seed
         self.backend = resolve_backend(engine)
+        #: virtual-time node-local disk shared by co-located ranks; the
+        #: C3 layer's overlapped write-back pipeline drains staged
+        #: checkpoint bytes through it (fresh per execution, like clocks)
+        from ..storage.drain import DrainDevice  # local import, no cycle
+        self.disk = DrainDevice(machine, nprocs)
         self.fault_plan = fault_plan or FaultPlan.none()
         self.abort_event = threading.Event()
         self.failure: Optional[ProcessFailure] = None

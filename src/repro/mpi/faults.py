@@ -56,16 +56,31 @@ class FaultSpec:
     at_epoch: Optional[int] = None
     #: fire inside the rank's N-th collective operation (1-based)
     in_collective: Optional[int] = None
+    #: fire while recovery line N is draining to the node disk (sections
+    #: staged by the overlapped write-back pipeline, COMMIT not yet
+    #: written): the kill-mid-drain scenario — the line must be rejected
+    #: as torn at restore
+    in_drain: Optional[int] = None
+    #: fire the instant line N's staged bytes become durable, right
+    #: before its COMMIT marker would be written: the kill-mid-commit
+    #: scenario — the narrowest tear window of the commit pipeline
+    at_commit: Optional[int] = None
     reason: str = "injected fail-stop fault"
 
     def __post_init__(self) -> None:
         if (self.after_ops is None and self.at_time is None
                 and self.probability <= 0 and self.at_epoch is None
-                and self.in_collective is None):
+                and self.in_collective is None and self.in_drain is None
+                and self.at_commit is None):
             raise ValueError("FaultSpec needs after_ops, at_time, "
-                             "probability, at_epoch, or in_collective")
+                             "probability, at_epoch, in_collective, "
+                             "in_drain, or at_commit")
         if self.in_collective is not None and self.in_collective < 1:
             raise ValueError("in_collective is a 1-based collective index")
+        if self.in_drain is not None and self.in_drain < 1:
+            raise ValueError("in_drain is a 1-based recovery-line version")
+        if self.at_commit is not None and self.at_commit < 1:
+            raise ValueError("at_commit is a 1-based recovery-line version")
 
     def describe(self) -> str:
         """Human-readable trigger summary for campaign reports."""
@@ -80,6 +95,10 @@ class FaultSpec:
             parts.append(f"at epoch {self.at_epoch}")
         if self.in_collective is not None:
             parts.append(f"in collective #{self.in_collective}")
+        if self.in_drain is not None:
+            parts.append(f"in drain of line {self.in_drain}")
+        if self.at_commit is not None:
+            parts.append(f"at commit of line {self.at_commit}")
         return f"rank {self.rank}: " + ", ".join(parts)
 
 
@@ -156,6 +175,24 @@ class FaultPlan:
             if spec in self.fired or spec.in_collective is None:
                 continue
             if collective_index >= spec.in_collective:
+                self._fire(spec, rank, now)
+
+    def note_drain(self, rank: int, version: int, now: float) -> None:
+        """Mid-drain check point, called by the C3 layer while recovery
+        line ``version`` is staged but not yet durable on the node disk."""
+        for spec in self.specs.get(rank, ()):
+            if spec in self.fired or spec.in_drain is None:
+                continue
+            if version >= spec.in_drain:
+                self._fire(spec, rank, now)
+
+    def note_commit(self, rank: int, version: int, now: float) -> None:
+        """Commit-instant check point, called by the C3 layer right before
+        line ``version``'s COMMIT marker is written."""
+        for spec in self.specs.get(rank, ()):
+            if spec in self.fired or spec.at_commit is None:
+                continue
+            if version >= spec.at_commit:
                 self._fire(spec, rank, now)
 
     def __bool__(self) -> bool:

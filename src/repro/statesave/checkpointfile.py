@@ -15,9 +15,11 @@ a checkpoint without actually saving anything to disk").
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..storage.manifest import record_commit, section_path
+from ..storage.manifest import (
+    line_manifest, record_commit, section_digest, section_path,
+)
 from ..storage.stable import StorageBackend, StorageError
 from .serializer import Serializer
 
@@ -27,7 +29,16 @@ class CheckpointError(Exception):
 
 
 class CheckpointWriter:
-    """Accumulates sections for one (version, rank) checkpoint."""
+    """Accumulates sections for one (version, rank) checkpoint.
+
+    Section payloads are written to the backend as they are saved (the
+    staging step of the overlapped pipeline: serialization *is* the
+    copy-on-write snapshot, so the application may mutate its state the
+    moment ``save`` returns).  The line only becomes restart-eligible at
+    :meth:`commit`, which records a manifest of every section's size and
+    content digest in the COMMIT marker — the overlapped drain path
+    defers that call until the staged bytes are durable in virtual time.
+    """
 
     def __init__(self, storage: StorageBackend, version: int, rank: int,
                  portable: bool = False, dry_run: bool = False):
@@ -36,7 +47,7 @@ class CheckpointWriter:
         self.rank = rank
         self.dry_run = dry_run
         self._serializer = Serializer(portable=portable)
-        self._written: Dict[str, int] = {}
+        self._written: Dict[str, Tuple[int, str]] = {}
         self.committed = False
 
     def save(self, section: str, value: Any) -> int:
@@ -46,42 +57,57 @@ class CheckpointWriter:
         if section in self._written:
             raise CheckpointError(f"section {section!r} already written")
         payload = self._serializer.dumps(value)
-        if not self.dry_run:
+        if self.dry_run:
+            self._written[section] = (len(payload), "")
+        else:
             self.storage.write(section_path(self.version, self.rank, section),
                                payload)
-        self._written[section] = len(payload)
+            self._written[section] = (len(payload), section_digest(payload))
         return len(payload)
 
     @property
     def bytes_written(self) -> int:
         """Total serialized bytes across all sections written so far."""
-        return sum(self._written.values())
+        return sum(nbytes for nbytes, _ in self._written.values())
 
     @property
     def sections(self) -> List[str]:
         """Names of the sections written so far (sorted)."""
         return sorted(self._written)
 
+    @property
+    def manifest(self) -> Dict[str, Tuple[int, str]]:
+        """section -> (nbytes, digest) for everything written so far."""
+        return dict(self._written)
+
     def commit(self) -> None:
         """Write the commit marker; the checkpoint becomes restart-eligible."""
         if self.committed:
             raise CheckpointError("checkpoint already committed")
         if not self.dry_run:
-            record_commit(self.storage, self.version, self.rank)
+            record_commit(self.storage, self.version, self.rank,
+                          sections=self._written)
         self.committed = True
 
 
 class CheckpointReader:
-    """Reads sections of one (version, rank) checkpoint."""
+    """Reads sections of one (version, rank) checkpoint.
+
+    When the line's COMMIT marker carries a manifest, every ``load``
+    verifies the payload's size and digest against it, so a torn or
+    corrupted section surfaces as :class:`CheckpointError` instead of a
+    garbage restore.
+    """
 
     def __init__(self, storage: StorageBackend, version: int, rank: int):
         self.storage = storage
         self.version = version
         self.rank = rank
         self._serializer = Serializer()
+        self._manifest: Optional[dict] = line_manifest(storage, version, rank)
 
     def load(self, section: str) -> Any:
-        """Read and deserialize one section (raises if missing)."""
+        """Read, verify, and deserialize one section (raises if missing)."""
         try:
             payload = self.storage.read(
                 section_path(self.version, self.rank, section))
@@ -90,6 +116,17 @@ class CheckpointReader:
                 f"rank {self.rank} checkpoint v{self.version} has no section "
                 f"{section!r}"
             ) from None
+        if self._manifest is not None:
+            entry = self._manifest["sections"].get(section)
+            if entry is None:
+                raise CheckpointError(
+                    f"rank {self.rank} checkpoint v{self.version} manifest "
+                    f"does not list section {section!r}")
+            nbytes, digest = entry
+            if len(payload) != nbytes or section_digest(payload) != digest:
+                raise CheckpointError(
+                    f"rank {self.rank} checkpoint v{self.version} section "
+                    f"{section!r} is torn (size/digest mismatch)")
         return self._serializer.loads(payload)
 
     def has(self, section: str) -> bool:
@@ -97,10 +134,18 @@ class CheckpointReader:
         return self.storage.exists(section_path(self.version, self.rank, section))
 
     def total_bytes(self) -> int:
-        """Payload bytes of every stored section (excluding the marker)."""
+        """Payload bytes of every stored section (excluding the marker).
+
+        Manifest-first, like :func:`repro.storage.manifest.checkpoint_bytes`:
+        sizes come from the commit record or ``StorageBackend.size`` —
+        payloads are never read just to be measured.
+        """
+        if self._manifest is not None:
+            return sum(int(nbytes)
+                       for nbytes, _ in self._manifest["sections"].values())
         prefix = f"ckpt/v{self.version}/rank{self.rank}/"
         return sum(
-            len(self.storage.read(p))
+            self.storage.size(p)
             for p in self.storage.list(prefix)
             if not p.endswith("/COMMIT")
         )

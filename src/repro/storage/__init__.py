@@ -1,15 +1,18 @@
 """Stable-storage substrate: backends, commit manifest, drain daemon."""
 
-from .drain import DrainDaemon, DrainReport
+from .drain import DrainDaemon, DrainDevice, DrainReport
 from .manifest import (
-    checkpoint_bytes, commit_path, committed_versions, last_committed_global,
-    last_committed_local, record_commit, section_path,
+    checkpoint_bytes, commit_path, committed_map, committed_versions,
+    delete_line, last_committed_global, last_committed_local, line_manifest,
+    record_commit, section_digest, section_path, validate_line,
 )
 from .stable import DiskStorage, InMemoryStorage, StorageBackend, StorageError
 
 __all__ = [
     "StorageBackend", "InMemoryStorage", "DiskStorage", "StorageError",
-    "record_commit", "committed_versions", "last_committed_local",
-    "last_committed_global", "checkpoint_bytes", "section_path", "commit_path",
-    "DrainDaemon", "DrainReport",
+    "record_commit", "committed_map", "committed_versions",
+    "last_committed_local", "last_committed_global", "checkpoint_bytes",
+    "section_path", "commit_path", "line_manifest", "section_digest",
+    "validate_line", "delete_line",
+    "DrainDaemon", "DrainDevice", "DrainReport",
 ]

@@ -17,12 +17,74 @@ application would have been delayed had it written remotely in-line
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..mpi.timemodel import MachineModel
 from .manifest import checkpoint_bytes, last_committed_global
 from .stable import StorageBackend
+
+
+class DrainDevice:
+    """Scheduler-integrated virtual-time node-local disk.
+
+    The live counterpart of :class:`DrainDaemon`'s postmortem report: one
+    FIFO write queue per *node* (co-located ranks — ``procs_per_node`` of
+    the machine model — share their node's disk bandwidth), advanced in
+    virtual time as ranks stage checkpoint bytes.  ``submit`` returns the
+    virtual instant the staged bytes are durable on the local disk; the
+    protocol writes the COMMIT marker only once the rank's clock passes
+    that instant, which is what makes the overlapped write-back pipeline
+    crash-consistent — a rank killed mid-drain leaves sections without a
+    marker, and recovery falls back to the previous committed line.
+
+    Under the default cooperative scheduler exactly one rank runs at a
+    time, so submission order — and therefore every completion time — is
+    deterministic.  The lock only matters for the threaded escape-hatch
+    backend.
+    """
+
+    def __init__(self, machine: MachineModel, nprocs: int):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.machine = machine
+        self.procs_per_node = max(1, machine.procs_per_node)
+        nodes = -(-nprocs // self.procs_per_node)  # ceil
+        #: per-node virtual time the disk becomes idle
+        self._busy_until = [0.0] * nodes
+        self._lock = threading.Lock()
+        #: accounting the studies read
+        self.submissions = 0
+        self.submitted_bytes = 0
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.procs_per_node
+
+    def submit(self, rank: int, nbytes: int, now: float) -> float:
+        """Queue ``nbytes`` from ``rank`` at virtual time ``now``.
+
+        Returns the virtual time the write completes: the request starts
+        when both the submitter has staged it and the node's disk has
+        finished everything queued before it, then runs at the machine's
+        local-disk bandwidth (one seek latency per request, matching the
+        in-line path's ``disk_write_time`` charge).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        node = self.node_of(rank)
+        with self._lock:
+            start = max(now, self._busy_until[node])
+            done = start + self.machine.disk_write_time(nbytes)
+            self._busy_until[node] = done
+            self.submissions += 1
+            self.submitted_bytes += nbytes
+            return done
+
+    def busy_until(self, rank: int) -> float:
+        """Virtual time ``rank``'s node disk becomes idle (for tests)."""
+        with self._lock:
+            return self._busy_until[self.node_of(rank)]
 
 
 @dataclass

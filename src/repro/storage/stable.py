@@ -17,6 +17,7 @@ Tables 4–5 (go through the motions, skip the write) is expressible.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 from typing import Dict, List
@@ -45,8 +46,12 @@ class StorageBackend:
         """All paths starting with ``prefix``, sorted."""
         raise NotImplementedError
 
+    def size(self, path: str) -> int:
+        """Size in bytes of one stored object, without reading its payload."""
+        raise NotImplementedError
+
     def total_bytes(self, prefix: str = "") -> int:
-        return sum(len(self.read(p)) for p in self.list(prefix))
+        return sum(self.size(p) for p in self.list(prefix))
 
 
 class InMemoryStorage(StorageBackend):
@@ -85,14 +90,31 @@ class InMemoryStorage(StorageBackend):
         with self._lock:
             return sorted(p for p in self._data if p.startswith(prefix))
 
+    def size(self, path: str) -> int:
+        with self._lock:
+            try:
+                return len(self._data[path])
+            except KeyError:
+                raise StorageError(f"no stored object at {path!r}") from None
+
 
 class DiskStorage(StorageBackend):
-    """File-backed store with atomic writes."""
+    """File-backed store with atomic writes.
+
+    Writes are lock-free: each goes to a uniquely named temp file
+    (pid + thread id + per-instance counter) that is fsynced and then
+    atomically ``os.replace``d into place.  Concurrent writers — the
+    overlapped drain path commits many ranks' sections through one
+    backend — therefore never serialize on a backend-global mutex, and
+    readers always observe either the old or the new complete payload.
+    """
 
     def __init__(self, root: str):
         self.root = root
         os.makedirs(root, exist_ok=True)
-        self._lock = threading.Lock()
+        #: itertools.count is advanced atomically under the GIL; combined
+        #: with pid+tid it makes temp names collision-free
+        self._tmp_seq = itertools.count()
 
     def _fs_path(self, path: str) -> str:
         norm = os.path.normpath(path)
@@ -103,13 +125,20 @@ class DiskStorage(StorageBackend):
     def write(self, path: str, data: bytes) -> None:
         fs = self._fs_path(path)
         os.makedirs(os.path.dirname(fs), exist_ok=True)
-        tmp = fs + ".tmp"
-        with self._lock:
+        tmp = (f"{fs}.{os.getpid()}.{threading.get_ident()}"
+               f".{next(self._tmp_seq)}.tmp")
+        try:
             with open(tmp, "wb") as f:
                 f.write(data)
                 f.flush()
                 os.fsync(f.fileno())
             os.replace(tmp, fs)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     def read(self, path: str) -> bytes:
         fs = self._fs_path(path)
@@ -125,6 +154,12 @@ class DiskStorage(StorageBackend):
     def delete(self, path: str) -> None:
         try:
             os.remove(self._fs_path(path))
+        except FileNotFoundError:
+            raise StorageError(f"no stored object at {path!r}") from None
+
+    def size(self, path: str) -> int:
+        try:
+            return os.stat(self._fs_path(path)).st_size
         except FileNotFoundError:
             raise StorageError(f"no stored object at {path!r}") from None
 

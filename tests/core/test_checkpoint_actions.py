@@ -28,8 +28,12 @@ def looping_app(ctx, niter=12, work=1e-4):
 
 
 def test_versions_advance_and_commit(storage):
+    # gc_lines=False keeps the full commit history so every version's
+    # marker can be asserted; production GC retention is covered by
+    # tests/core/test_overlap.py
     result, stats = run_c3(looping_app, 3, storage=storage,
-                           config=C3Config(checkpoint_interval=3e-4))
+                           config=C3Config(checkpoint_interval=3e-4,
+                                           gc_lines=False))
     result.raise_errors()
     n = stats[0].checkpoints_committed
     assert n >= 2
@@ -42,7 +46,8 @@ def test_checkpoint_sections_present(storage):
     result, stats = run_c3(looping_app, 2, storage=storage,
                            config=C3Config(checkpoint_interval=4e-4))
     result.raise_errors()
-    paths = storage.list("ckpt/v1/rank0/")
+    last = stats[0].checkpoints_committed  # earlier lines are GC'd
+    paths = storage.list(f"ckpt/v{last}/rank0/")
     names = {p.rsplit("/", 1)[1] for p in paths}
     assert names == {"app", "mpi_state", "handles", "early_registry",
                      "counters", "late_registry", "event_log",
@@ -60,9 +65,14 @@ def test_dry_run_stores_nothing(storage):
 
 
 def test_restore_uses_global_minimum(storage):
-    """If one rank committed v2 but another only v1, recovery must use v1."""
-    result, stats = run_c3(looping_app, 2, storage=storage,
-                           config=C3Config(checkpoint_interval=3e-4))
+    """If one rank committed v2 but another only v1, recovery must use v1.
+
+    Runs with gc_lines=False: the scenario models a rank whose *markers*
+    were lost after the fact, which production GC (whose floor assumes
+    written markers are durable) would have made unreachable.
+    """
+    config = C3Config(checkpoint_interval=3e-4, gc_lines=False)
+    result, stats = run_c3(looping_app, 2, storage=storage, config=config)
     result.raise_errors()
     committed = stats[0].checkpoints_committed
     assert committed >= 2
@@ -73,8 +83,7 @@ def test_restore_uses_global_minimum(storage):
     assert last_committed_global(storage, 2) == 1
 
     restarted, rstats = run_c3(looping_app, 2, storage=storage,
-                               config=C3Config(checkpoint_interval=3e-4),
-                               restoring=True)
+                               config=config, restoring=True)
     restarted.raise_errors()
     assert rstats[0].restored_version == 1
 
@@ -96,7 +105,7 @@ def test_checkpoint_bytes_accounting(storage):
     result, stats = run_c3(looping_app, 2, storage=storage,
                            config=C3Config(checkpoint_interval=4e-4))
     result.raise_errors()
-    measured = checkpoint_bytes(storage, 1, 0)
+    measured = checkpoint_bytes(storage, stats[0].checkpoints_committed, 0)
     assert measured > 0
     # stats track the app+handles part and the commit-time log part
     assert measured <= (stats[0].last_checkpoint_bytes

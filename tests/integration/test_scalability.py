@@ -82,7 +82,9 @@ def test_ring_exchange_smoke_64_ranks():
 
 def test_control_messages_scale_linearly_per_checkpoint():
     """Each checkpoint costs each rank exactly (p-1) Checkpoint-Initiated
-    sends (the any-process protocol has no extra coordination rounds)."""
+    sends (the any-process protocol has no extra coordination rounds;
+    in particular the GC floor is read from the storage manifest, not
+    broadcast)."""
     app = APPS["ring"]
     for nprocs in (4, 8):
         storage = InMemoryStorage()

@@ -102,6 +102,31 @@ def test_in_collective_fires_only_mid_collective():
     plan.note_collective_op(2, 4, 0.3)      # spent
 
 
+def test_in_drain_fires_only_while_draining():
+    plan = FaultPlan([FaultSpec(rank=1, in_drain=2)])
+    plan.check(1, 1000, 1000.0)      # per-op path ignores drain specs
+    plan.note_drain(1, 1, 0.1)       # earlier line's drain: below
+    plan.note_drain(0, 2, 0.1)       # other rank's drain
+    with pytest.raises(ProcessFailure) as exc:
+        plan.note_drain(1, 2, 0.2)
+    assert exc.value.time == 0.2
+    plan.note_drain(1, 3, 0.3)       # spent
+    with pytest.raises(ValueError):
+        FaultSpec(rank=0, in_drain=0)
+
+
+def test_at_commit_fires_only_at_commit_instant():
+    plan = FaultPlan([FaultSpec(rank=0, at_commit=2)])
+    plan.check(0, 1000, 1000.0)      # per-op path ignores commit specs
+    plan.note_commit(0, 1, 0.1)      # earlier line's commit: below
+    plan.note_commit(1, 2, 0.1)      # other rank's commit
+    with pytest.raises(ProcessFailure):
+        plan.note_commit(0, 2, 0.2)
+    plan.note_commit(0, 3, 0.3)      # spent
+    with pytest.raises(ValueError):
+        FaultSpec(rank=0, at_commit=0)
+
+
 def test_staggered_schedule_and_describe():
     plan = FaultPlan.staggered([(0, 1.0), (1, 2.0)])
     assert len(plan.unfired()) == 2
@@ -112,3 +137,5 @@ def test_staggered_schedule_and_describe():
     assert any("rank 1" in d and "t=2" in d for d in descriptions)
     assert "epoch" in FaultSpec(rank=0, at_epoch=1).describe()
     assert "collective #4" in FaultSpec(rank=0, in_collective=4).describe()
+    assert "drain of line 2" in FaultSpec(rank=0, in_drain=2).describe()
+    assert "commit of line 3" in FaultSpec(rank=0, at_commit=3).describe()

@@ -1,9 +1,56 @@
-"""Asynchronous drain daemon model."""
+"""Asynchronous drain daemon model and the live virtual-time disk device."""
 
 import pytest
 
 from repro.mpi.timemodel import TESTING
-from repro.storage.drain import DrainDaemon, DrainReport
+from repro.storage.drain import DrainDaemon, DrainDevice, DrainReport
+
+
+class TestDrainDevice:
+    def test_completion_time_matches_disk_model(self):
+        dev = DrainDevice(TESTING, nprocs=2)
+        done = dev.submit(0, 1000, now=1.0)
+        assert done == pytest.approx(1.0 + TESTING.disk_write_time(1000))
+
+    def test_fifo_queueing_on_one_node(self):
+        machine = TESTING.with_overrides(procs_per_node=2,
+                                         disk_bandwidth=1e6,
+                                         disk_latency=0.0)
+        dev = DrainDevice(machine, nprocs=2)
+        # co-located ranks share the node disk: the second submission
+        # queues behind the first even though it was staged earlier
+        d0 = dev.submit(0, 1_000_000, now=0.0)    # 1s of disk work
+        d1 = dev.submit(1, 1_000_000, now=0.0)
+        assert d0 == pytest.approx(1.0)
+        assert d1 == pytest.approx(2.0)
+        assert dev.busy_until(0) == pytest.approx(2.0)
+
+    def test_nodes_are_independent(self):
+        machine = TESTING.with_overrides(procs_per_node=1,
+                                         disk_bandwidth=1e6,
+                                         disk_latency=0.0)
+        dev = DrainDevice(machine, nprocs=2)
+        d0 = dev.submit(0, 1_000_000, now=0.0)
+        d1 = dev.submit(1, 1_000_000, now=0.0)   # its own node disk
+        assert d0 == pytest.approx(1.0)
+        assert d1 == pytest.approx(1.0)
+
+    def test_idle_disk_starts_at_submission_time(self):
+        dev = DrainDevice(TESTING, nprocs=1)
+        dev.submit(0, 1000, now=0.0)
+        late = dev.submit(0, 1000, now=100.0)    # disk long idle again
+        assert late == pytest.approx(100.0 + TESTING.disk_write_time(1000))
+
+    def test_accounting_and_validation(self):
+        dev = DrainDevice(TESTING, nprocs=4)
+        dev.submit(0, 10, now=0.0)
+        dev.submit(3, 20, now=0.0)
+        assert dev.submissions == 2
+        assert dev.submitted_bytes == 30
+        with pytest.raises(ValueError):
+            dev.submit(0, -1, now=0.0)
+        with pytest.raises(ValueError):
+            DrainDevice(TESTING, nprocs=0)
 
 
 def test_remote_after_local():

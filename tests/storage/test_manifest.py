@@ -3,14 +3,25 @@
 import pytest
 
 from repro.storage import (
-    InMemoryStorage, checkpoint_bytes, commit_path, committed_versions,
-    last_committed_global, last_committed_local, record_commit, section_path,
+    InMemoryStorage, checkpoint_bytes, commit_path, committed_map,
+    committed_versions, delete_line, last_committed_global,
+    last_committed_local, line_manifest, record_commit, section_digest,
+    section_path, validate_line,
 )
 
 
 @pytest.fixture
 def store():
     return InMemoryStorage()
+
+
+def write_line(store, version, rank, sections):
+    """A committed line with a digest-carrying manifest marker."""
+    manifest = {}
+    for name, payload in sections.items():
+        store.write(section_path(version, rank, name), payload)
+        manifest[name] = (len(payload), section_digest(payload))
+    record_commit(store, version, rank, sections=manifest)
 
 
 def test_paths():
@@ -53,3 +64,125 @@ def test_checkpoint_bytes_excludes_marker(store):
     store.write(section_path(1, 0, "late_registry"), b"678")
     record_commit(store, 1, 0)
     assert checkpoint_bytes(store, 1, 0) == 8
+
+
+def test_checkpoint_bytes_prefers_manifest(store):
+    write_line(store, 1, 0, {"app": b"12345", "late_registry": b"678"})
+    # a stale section from a pre-crash attempt must not be counted
+    store.write(section_path(1, 0, "stale_leftover"), b"x" * 100)
+    assert checkpoint_bytes(store, 1, 0) == 8
+
+
+# ---------------------------------------------------------------------------
+# Crash-consistent manifests and torn-line validation
+# ---------------------------------------------------------------------------
+
+class TestManifestValidation:
+    def test_manifest_roundtrip(self, store):
+        write_line(store, 3, 1, {"app": b"abc", "counters": b"defg"})
+        record = line_manifest(store, 3, 1)
+        assert record["version"] == 3 and record["rank"] == 1
+        assert set(record["sections"]) == {"app", "counters"}
+        assert record["sections"]["app"][0] == 3
+
+    def test_legacy_marker_validates_vacuously(self, store):
+        store.write(section_path(1, 0, "app"), b"abc")
+        record_commit(store, 1, 0)  # bare b"ok"
+        assert line_manifest(store, 1, 0) is None
+        assert validate_line(store, 1, 0, deep=True)
+
+    def test_valid_line_passes_deep_validation(self, store):
+        write_line(store, 1, 0, {"app": b"abc", "counters": b"defg"})
+        assert validate_line(store, 1, 0)
+        assert validate_line(store, 1, 0, deep=True)
+
+    def test_missing_section_is_torn(self, store):
+        write_line(store, 1, 0, {"app": b"abc", "counters": b"defg"})
+        store.delete(section_path(1, 0, "counters"))
+        assert not validate_line(store, 1, 0)
+
+    def test_truncated_section_is_torn(self, store):
+        write_line(store, 1, 0, {"app": b"abcdef"})
+        store.write(section_path(1, 0, "app"), b"abc")  # torn write
+        assert not validate_line(store, 1, 0)
+
+    def test_size_preserving_corruption_needs_deep(self, store):
+        write_line(store, 1, 0, {"app": b"abcdef"})
+        store.write(section_path(1, 0, "app"), b"abcdeX")
+        assert validate_line(store, 1, 0)            # shallow: size ok
+        assert not validate_line(store, 1, 0, deep=True)
+
+    def test_missing_marker_is_not_committed(self, store):
+        store.write(section_path(1, 0, "app"), b"abc")
+        assert not validate_line(store, 1, 0)
+
+    def test_validated_local_falls_back_past_torn_line(self, store):
+        write_line(store, 1, 0, {"app": b"v1"})
+        write_line(store, 2, 0, {"app": b"v2"})
+        store.delete(section_path(2, 0, "app"))      # tear the newest
+        assert last_committed_local(store, 0) == 2   # raw scan still sees it
+        assert last_committed_local(store, 0, validate=True, deep=True) == 1
+
+    def test_validated_global_skips_torn_lines(self, store):
+        for rank in (0, 1):
+            write_line(store, 1, rank, {"app": b"v1"})
+            write_line(store, 2, rank, {"app": b"v2"})
+        store.write(section_path(2, 1, "app"), b"v")  # truncated: torn
+        assert last_committed_global(store, 2) == 2
+        assert last_committed_global(store, 2, validate=True) == 1
+
+
+def test_delete_line_removes_sections_and_marker(store):
+    write_line(store, 1, 0, {"app": b"abc", "counters": b"d"})
+    write_line(store, 2, 0, {"app": b"abc2"})
+    delete_line(store, 1, 0)
+    assert store.list("ckpt/v1/") == []
+    assert committed_versions(store, 0) == [2]
+    delete_line(store, 1, 0)  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# Single-pass global queries (the O(nprocs x objects) restore fix)
+# ---------------------------------------------------------------------------
+
+class CountingStorage(InMemoryStorage):
+    """Counts listing passes to pin the single-pass property."""
+
+    def __init__(self):
+        super().__init__()
+        self.list_calls = 0
+
+    def list(self, prefix=""):
+        self.list_calls += 1
+        return super().list(prefix)
+
+
+def test_committed_map_single_listing_pass():
+    store = CountingStorage()
+    for rank in range(4):
+        for v in (1, 2, 3):
+            record_commit(store, v, rank)
+    store.list_calls = 0
+    cmap = committed_map(store)
+    assert store.list_calls == 1
+    assert cmap == {r: [1, 2, 3] for r in range(4)}
+
+
+def test_last_committed_global_256_ranks_one_pass():
+    """Restore-scale micro-benchmark: the global query over a 256-rank
+    store (3 lines, ~2k objects) must make exactly one listing pass —
+    the old implementation re-listed and regex-scanned the whole
+    namespace once per rank (512+ passes here)."""
+    nprocs = 256
+    store = CountingStorage()
+    for rank in range(nprocs):
+        for v in (1, 2, 3):
+            store.write(section_path(v, rank, "app"), b"x" * 8)
+            record_commit(store, v, rank)
+    store.list_calls = 0
+    assert last_committed_global(store, nprocs) == 3
+    assert store.list_calls == 1
+    # the validated flavour adds per-line stat checks, not extra listings
+    store.list_calls = 0
+    assert last_committed_global(store, nprocs, validate=True) == 3
+    assert store.list_calls == 1

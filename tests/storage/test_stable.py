@@ -1,5 +1,7 @@
 """Storage backends."""
 
+import threading
+
 import pytest
 
 from repro.storage.stable import DiskStorage, InMemoryStorage, StorageError
@@ -51,6 +53,14 @@ class TestBackends:
         backend.write("b", b"4567")
         assert backend.total_bytes() == 7
 
+    def test_size_without_read(self, backend):
+        backend.write("a", b"12345")
+        assert backend.size("a") == 5
+        backend.write("a", b"")
+        assert backend.size("a") == 0
+        with pytest.raises(StorageError):
+            backend.size("missing")
+
 
 def test_memory_stats():
     s = InMemoryStorage()
@@ -72,3 +82,70 @@ def test_disk_storage_survives_reopen(tmp_path):
     root = str(tmp_path / "store")
     DiskStorage(root).write("k", b"persisted")
     assert DiskStorage(root).read("k") == b"persisted"
+
+
+def test_disk_concurrent_writers_are_atomic(tmp_path):
+    """Regression: ``write`` used to hold a backend-global mutex across
+    ``fsync``, serializing every concurrent rank's commit — and a shared
+    fixed ``.tmp`` name would have let parallel writers corrupt each
+    other.  With unique temp names + atomic ``os.replace``, N threads
+    hammering overlapping keys must leave every key holding exactly one
+    complete payload, with no temp debris."""
+    store = DiskStorage(str(tmp_path / "store"))
+    nthreads, nwrites, nkeys = 8, 40, 5
+    errors = []
+
+    def writer(tid):
+        try:
+            for i in range(nwrites):
+                key = f"ckpt/k{i % nkeys}"
+                store.write(key, f"payload-{tid}-{i}".encode() * 50)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(t,))
+               for t in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for i in range(nkeys):
+        data = store.read(f"ckpt/k{i}")
+        # one complete write won, never an interleaving or a torn file:
+        # each write is one unit repeated 50x
+        assert len(data) % 50 == 0
+        unit = data[:len(data) // 50]
+        assert unit.startswith(b"payload-")
+        assert data == unit * 50
+    # no leftover temp files on disk, and list() never reports them
+    assert not [p for p in store.list() if p.endswith(".tmp")]
+    import os
+    leftovers = [f for _, _, files in os.walk(store.root)
+                 for f in files if f.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_disk_reader_sees_old_or_new_payload(tmp_path):
+    """Readers racing a writer observe a complete payload (atomic
+    replace), never a partial one."""
+    store = DiskStorage(str(tmp_path / "store"))
+    a, b = b"A" * 4096, b"B" * 4096
+    store.write("k", a)
+    stop = threading.Event()
+    bad = []
+
+    def reader():
+        while not stop.is_set():
+            data = store.read("k")
+            if data != a and data != b:
+                bad.append(len(data))
+
+    t = threading.Thread(target=reader)
+    t.start()
+    for _ in range(200):
+        store.write("k", b)
+        store.write("k", a)
+    stop.set()
+    t.join()
+    assert bad == []
