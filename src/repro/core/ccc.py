@@ -27,6 +27,8 @@ from ..mpi.faults import FaultPlan
 from ..mpi.timemodel import MachineModel, TESTING
 from ..statesave.context import Context
 from ..storage.stable import InMemoryStorage, StorageBackend
+from ..storage.store import CheckpointStore, as_store
+from ..storage.wal import WalStore
 from .checkpoint import restore_checkpoint
 from .comms import C3Comm
 from .modes import ProtocolError
@@ -52,7 +54,7 @@ class C3RunResult:
 
 
 def _c3_main(mpi: MPI, app: Callable, config: C3Config,
-             storage: StorageBackend, restoring: bool, app_args: Tuple):
+             storage, restoring: bool, app_args: Tuple):
     """Per-rank job body: build the layer, maybe restore, run the app."""
     protocol = C3Protocol(mpi, storage, config)
     ctx = Context(mpi, comm=C3Comm(protocol, protocol.world_entry),
@@ -69,21 +71,36 @@ def _c3_main(mpi: MPI, app: Callable, config: C3Config,
 
 
 def run_c3(app: Callable, nprocs: int, machine: MachineModel = TESTING,
-           storage: Optional[StorageBackend] = None,
+           storage=None,
            config: Optional[C3Config] = None,
            fault_plan: Optional[FaultPlan] = None,
            restoring: bool = False, app_args: Tuple = (),
            wall_timeout: float = 300.0,
            engine: Optional[str] = None) -> Tuple[JobResult, List[Optional[C3Stats]]]:
-    """One job execution under the coordination layer."""
-    storage = storage if storage is not None else InMemoryStorage()
+    """One job execution under the coordination layer.
+
+    ``storage`` may be a :class:`CheckpointStore` or a bare
+    :class:`StorageBackend` (wrapped through
+    :func:`~repro.storage.store.as_store` — a backend already holding WAL
+    segments opens as a shared :class:`WalStore`).  The default is the
+    production engine: a WAL over in-memory storage.
+    """
+    # Normalize to ONE store instance before the job starts: the WAL is
+    # stateful (staged buffers, group-commit accounting), so every rank
+    # must share it rather than wrap the backend independently.
+    store = as_store(storage) if storage is not None \
+        else WalStore(InMemoryStorage())
     config = config or C3Config()
     result = run_job(
         nprocs, _c3_main,
-        args=(app, config, storage, restoring, app_args),
+        args=(app, config, store, restoring, app_args),
         machine=machine, fault_plan=fault_plan, wall_timeout=wall_timeout,
         engine=engine,
     )
+    # Job-lifetime boundary: a clean end drains staged group commits; a
+    # fail-stop applies the store's crash semantics (the WAL tears the
+    # failed node's unsynced tail and rebuilds its index by replay).
+    store.on_job_end(result.failure.rank if result.failure else None)
     stats: List[Optional[C3Stats]] = []
     returns = []
     for r in result.returns:
@@ -99,7 +116,7 @@ def run_c3(app: Callable, nprocs: int, machine: MachineModel = TESTING,
 
 def run_fault_tolerant(app: Callable, nprocs: int,
                        machine: MachineModel = TESTING,
-                       storage: Optional[StorageBackend] = None,
+                       storage=None,
                        config: Optional[C3Config] = None,
                        fault_plan: Optional[FaultPlan] = None,
                        app_args: Tuple = (), max_restarts: int = 8,
@@ -111,7 +128,10 @@ def run_fault_tolerant(app: Callable, nprocs: int,
     one failure, then recovery); pass a plan with multiple specs to test
     repeated failures — specs that already fired do not fire again.
     """
-    storage = storage if storage is not None else InMemoryStorage()
+    # One store for the whole restart loop: the failed run's survivors and
+    # the restarted run must see the same durable state.
+    storage = as_store(storage) if storage is not None \
+        else WalStore(InMemoryStorage())
     config = config or C3Config()
     history: List[JobResult] = []
     plan = fault_plan or FaultPlan.none()
@@ -137,7 +157,7 @@ def run_fault_tolerant(app: Callable, nprocs: int,
 
 
 def resume_from_manifest(app: Callable, nprocs: int,
-                         storage: StorageBackend,
+                         storage,
                          machine: MachineModel = TESTING,
                          config: Optional[C3Config] = None,
                          fault_plan: Optional[FaultPlan] = None,
@@ -160,17 +180,19 @@ def resume_from_manifest(app: Callable, nprocs: int,
     storage holds no complete recovery line, instead of silently
     re-running the application from the beginning.
     """
-    from ..storage.manifest import last_committed_global
-    # validate=True: torn lines (a crash mid-drain/mid-commit left a
-    # marker-less or truncated line) are invisible, exactly as they are
-    # to the per-rank restore scan.
-    line = last_committed_global(storage, nprocs, validate=True)
+    # as_store auto-detects the layout: a backend holding WAL segments
+    # opens as a WalStore (replaying the log), anything else as the
+    # scatter layout.  validate=True: torn lines (a crash
+    # mid-drain/mid-commit left a marker-less or truncated line) are
+    # invisible, exactly as they are to the per-rank restore scan.
+    store = as_store(storage)
+    line = store.last_committed_global(nprocs, validate=True)
     if line is None and require_line:
         raise ProtocolError(
             f"storage holds no recovery line committed by all {nprocs} "
             "ranks; nothing to restart from"
         )
-    return run_c3(app, nprocs, machine=machine, storage=storage,
+    return run_c3(app, nprocs, machine=machine, storage=store,
                   config=config, fault_plan=fault_plan,
                   restoring=line is not None,
                   app_args=app_args, wall_timeout=wall_timeout,

@@ -51,7 +51,6 @@ import numpy as np
 from ..mpi.matching import ANY_SOURCE, ANY_TAG
 from ..mpi.ops import MIN
 from ..statesave.checkpointfile import CheckpointReader, CheckpointWriter
-from ..storage.manifest import committed_versions, last_committed_local
 from .modes import Mode, ProtocolError
 from .registries import EarlyMessageRegistry, EventLog, LateMessageRegistry
 
@@ -72,7 +71,7 @@ def start_checkpoint(p: "C3Protocol") -> None:
     line = p.epoch + 1
     p.epoch = line
     p.mpi._ctx.note_epoch(line)
-    writer = CheckpointWriter(p.storage, version=line, rank=p.rank,
+    writer = CheckpointWriter(p.store, version=line, rank=p.rank,
                               portable=p.config.portable,
                               dry_run=not p.config.save_to_disk)
     # Save application state (full, or dirty pages against the previous
@@ -213,14 +212,14 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
     # or digest-mismatched section (a crash mid-drain or mid-commit) —
     # falling back to the previous committed line instead of restoring
     # garbage.
-    local = last_committed_local(p.storage, p.rank, validate=True, deep=True)
+    local = p.store.last_committed_local(p.rank, validate=True, deep=True)
     mine = np.array([local if local is not None else -1], dtype=np.int64)
     everyone = np.empty(1, dtype=np.int64)
     p.control.comm.Allreduce(mine, everyone, MIN)
     version = int(everyone[0])
     if version <= 0:
         return False
-    reader = CheckpointReader(p.storage, version, p.rank)
+    reader = CheckpointReader(p.store, version, p.rank)
     # Restore basic MPI state and sanity-check the world geometry.
     mpi_state = reader.load("mpi_state")
     if mpi_state["nprocs"] != p.nprocs or mpi_state["rank"] != p.rank:
@@ -254,7 +253,7 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
             if v < 1:
                 raise ProtocolError(
                     "incremental chain has no full save on stable storage")
-            prev = CheckpointReader(p.storage, v, p.rank).load("app")
+            prev = CheckpointReader(p.store, v, p.rank).load("app")
             records.insert(0, prev["incremental"])
         # lines back to the chain's full save stay pinned against GC
         p._full_saves = [v]
@@ -305,13 +304,12 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
     # so drop mine now rather than let stale sections shadow the fresh
     # ones' accounting.  (The GC floor itself is re-read from the
     # storage manifest at each durable commit.)
-    p._my_lines = [v for v in committed_versions(p.storage, p.rank)
+    p._my_lines = [v for v in p.store.committed_versions(p.rank)
                    if v <= version]
     if p.config.gc_lines:
-        from ..storage.manifest import delete_line, lines_on_storage
-        for v in lines_on_storage(p.storage).get(p.rank, []):
+        for v in p.store.lines_on_storage().get(p.rank, []):
             if v > version:
-                delete_line(p.storage, v, p.rank)
+                p.store.delete_line(v, p.rank)
     # Charge the restore I/O time.
     p.mpi.compute(p.machine.disk_read_time(reader.total_bytes()))
     p.stats.restored_version = version

@@ -66,6 +66,7 @@ from ..mpi.matching import ANY_SOURCE, ANY_TAG
 from ..mpi.status import Status
 from ..statesave.context import Context
 from ..storage.stable import StorageBackend
+from ..storage.store import as_store
 from .commtable import CommEntry, CommTable
 from .control import ControlPlane
 from .counters import CounterSet
@@ -212,6 +213,17 @@ class C3Protocol:
         #: the node-local virtual-time disk the overlapped pipeline drains
         #: staged checkpoint bytes through (shared, engine-owned)
         self._device = mpi._ctx.engine.disk
+        #: the checkpoint-store engine (scatter or WAL) every storage
+        #: operation goes through; the drain device's node boundary is the
+        #: WAL's group-commit boundary
+        self.store = as_store(storage,
+                              procs_per_node=self._device.procs_per_node,
+                              nprocs=self.nprocs)
+        hooks = getattr(self.store, "commit_hooks", None)
+        if hooks is not None:
+            # The WAL invokes this right after staging my COMMIT record and
+            # before the group-flush decision — the at_group_commit window.
+            hooks[self.rank] = mpi._ctx.group_commit_fault_point
         #: protocol-committed lines whose drain has not finished yet:
         #: (version, writer, durable_at) in version order
         self._pending: deque = deque()
@@ -307,15 +319,14 @@ class C3Protocol:
         """
         if not self.config.gc_lines or not self._my_lines:
             return
-        from ..storage.manifest import delete_line, last_committed_global
-        floor = last_committed_global(self.storage, self.nprocs) or 0
+        floor = self.store.last_committed_global(self.nprocs) or 0
         if self._full_saves is not None:
             committed_fulls = [f for f in self._full_saves if f <= floor]
             floor = max(committed_fulls) if committed_fulls else 0
             self._full_saves = [f for f in self._full_saves if f >= floor]
         while self._my_lines and self._my_lines[0] < floor:
             version = self._my_lines.pop(0)
-            delete_line(self.storage, version, self.rank)
+            self.store.delete_line(version, self.rank)
             self.stats.gc_deleted_lines += 1
 
     # ------------------------------------------------------- piggyback encoding
@@ -739,6 +750,9 @@ class C3Protocol:
         self._maybe_commit()
         if self._pending:
             self._poll_drains(flush=True)
+        # Group-commit stores may still hold this rank's trailing commits
+        # staged; a clean MPI_Finalize forces the node's batch down.
+        self.store.flush_rank(self.rank)
 
     def pragma(self, force: bool = False) -> None:
         """``#pragma ccc checkpoint``."""

@@ -32,8 +32,20 @@ timing                  kills
 ``mid_commit``          a rank the instant line 1 becomes durable, right
                         before its COMMIT marker is written (the
                         narrowest tear window of the commit pipeline)
+``mid_group_commit``    a rank right after its COMMIT record for line 1 is
+                        staged in its node's WAL buffer, before the
+                        batched group-commit fsync — the staged group is
+                        torn out of the log tail (WAL storage only)
+``torn_record``         the last rank at the same window: its node's
+                        unsynced tail is cut *mid-record* at crash, so
+                        replay must truncate at the tear and recovery
+                        fall back to the prior line (WAL storage only)
 ``storm``               every rank with per-operation probability, seeded
 ======================  ====================================================
+
+The two WAL-only timings require ``--storage wal`` or ``--storage
+wal-disk`` (scatter stores have no group-commit window; the matrix
+builder skips them elsewhere).
 
 Restarts go through :func:`repro.core.ccc.resume_from_manifest` — the
 storage-manifest entry point an operator would use — so the campaign
@@ -167,12 +179,30 @@ def _kill_mid_commit(nprocs: int) -> List[dict]:
     return [{"rank": 0, "at_commit": 1}]
 
 
+def _kill_mid_group_commit(nprocs: int) -> List[dict]:
+    # The victim dies with its COMMIT record for line 1 staged in the
+    # node's WAL buffer but the batched fsync not yet issued; the whole
+    # staged group is lost, replay finds no durable COMMIT for the line,
+    # and recovery falls back.  Line 1 for the same reason as mid_drain:
+    # it is the one line every kernel stages on every platform.
+    return [{"rank": 1 % nprocs, "at_group_commit": 1}]
+
+
+def _kill_torn_record(nprocs: int) -> List[dict]:
+    # Same window, but the *last* rank — typically the final committer of
+    # its node's group, so the buffered tail it tears is the fullest one.
+    # The crash model cuts the tail mid-record, forcing replay to detect
+    # the torn record (bad length/CRC) and physically truncate at the
+    # tear before recovery proceeds from the prior committed line.
+    return [{"rank": nprocs - 1, "at_group_commit": 1}]
+
+
 def _kill_storm(nprocs: int) -> List[dict]:
     return [{"rank": r, "probability": 0.002} for r in range(nprocs)]
 
 
-#: Named kill timings:
-#: name -> (builder, deterministic, needs_collectives, interval_frac).
+#: Named kill timings: name -> (builder, deterministic,
+#: needs_collectives, interval_frac, needs_wal).
 #: ``deterministic`` timings must inject at least one failure, or the
 #: scenario fails — a matrix whose kills silently miss is not a recovery
 #: test.  (For multi-kill schedules like ``double``, later kills are
@@ -183,18 +213,25 @@ def _kill_storm(nprocs: int) -> List[dict]:
 #: reaches its first epoch boundary at all on every platform (EP's
 #: pragmas all sit in the first fraction of the run on high-latency
 #: machines; at the default cadence the timer never trips there).
+#: ``needs_wal`` timings fire from the WAL store's group-commit hook and
+#: are skipped for scatter storage, which has no such window.
 KILL_TIMINGS: Dict[str, Tuple[Callable[[int], List[dict]], bool, bool,
-                              Optional[float]]] = {
-    "early": (_kill_early, True, False, None),
-    "mid_run": (_kill_mid_run, True, False, None),
-    "late": (_kill_late, True, False, None),
-    "double": (_kill_double, True, False, None),
-    "epoch_boundary": (_kill_epoch_boundary, True, False, 0.05),
-    "mid_collective": (_kill_mid_collective, True, True, None),
-    "mid_drain": (_kill_mid_drain, True, False, 0.05),
-    "mid_commit": (_kill_mid_commit, True, False, 0.05),
-    "storm": (_kill_storm, False, False, None),
+                              Optional[float], bool]] = {
+    "early": (_kill_early, True, False, None, False),
+    "mid_run": (_kill_mid_run, True, False, None, False),
+    "late": (_kill_late, True, False, None, False),
+    "double": (_kill_double, True, False, None, False),
+    "epoch_boundary": (_kill_epoch_boundary, True, False, 0.05, False),
+    "mid_collective": (_kill_mid_collective, True, True, None, False),
+    "mid_drain": (_kill_mid_drain, True, False, 0.05, False),
+    "mid_commit": (_kill_mid_commit, True, False, 0.05, False),
+    "mid_group_commit": (_kill_mid_group_commit, True, False, 0.05, True),
+    "torn_record": (_kill_torn_record, True, False, 0.05, True),
+    "storm": (_kill_storm, False, False, None, False),
 }
+
+#: Storage choices whose scenarios run against the WAL engine.
+WAL_STORAGES = frozenset({"wal", "wal-disk"})
 
 
 @dataclass(frozen=True)
@@ -212,9 +249,11 @@ class Scenario:
     wall_timeout: float = 120.0
     #: engine backend (None = the default cooperative scheduler)
     engine: Optional[str] = None
-    #: stable-storage backend: "memory" (default) or "disk" (a fresh
+    #: stable-storage engine: "memory" (default) / "disk" (fresh
     #: tmpdir-rooted DiskStorage per execution phase — real files, real
-    #: atomic renames)
+    #: atomic renames) run the per-file scatter layout; "wal" /
+    #: "wal-disk" run the log-structured WAL engine (group commit,
+    #: replay recovery, segment GC) over the same two backends
     storage: str = "memory"
 
     @property
@@ -231,7 +270,8 @@ def build_matrix(apps: Sequence[str], platforms: Sequence[str],
                  engine: Optional[str] = None,
                  storage: str = "memory") -> List[Scenario]:
     """The scenario grid, skipping inapplicable combinations
-    (``mid_collective`` on point-to-point-only apps)."""
+    (``mid_collective`` on point-to-point-only apps; the WAL-only
+    timings on scatter storage)."""
     unknown = [a for a in apps if a not in APPS]
     if unknown:
         raise ValueError(f"unknown apps: {unknown}; have {sorted(APPS)}")
@@ -247,8 +287,11 @@ def build_matrix(apps: Sequence[str], platforms: Sequence[str],
     for app in apps:
         for platform in platforms:
             for kill in kills:
-                builder, _det, needs_coll, frac_override = KILL_TIMINGS[kill]
+                (builder, _det, needs_coll, frac_override,
+                 needs_wal) = KILL_TIMINGS[kill]
                 if needs_coll and app not in COLLECTIVE_APPS:
+                    continue
+                if needs_wal and storage not in WAL_STORAGES:
                     continue
                 scenarios.append(Scenario(
                     app=app, platform=platform, kill=kill, nprocs=nprocs,
@@ -266,9 +309,12 @@ def smoke_matrix(nprocs: int = 4, interval_frac: float = 0.2,
                  storage: str = "memory") -> List[Scenario]:
     """The CI subset: every app kernel, one platform, kill timings
     rotated across apps so each deterministic timing appears several
-    times — full kernel coverage in well under a minute."""
+    times — full kernel coverage in well under a minute.  WAL storage
+    widens the rotation with the group-commit tear windows."""
     rotation = ("mid_run", "epoch_boundary", "mid_collective", "mid_drain",
                 "early", "late", "double", "mid_commit")
+    if storage in WAL_STORAGES:
+        rotation += ("mid_group_commit", "torn_record")
     scenarios = []
     for i, app in enumerate(APP_KERNELS):
         kill = rotation[i % len(rotation)]
@@ -377,12 +423,15 @@ def _measure_scenario(scenario: Scenario) -> Dict:
     wave nor discards the pool's in-flight results for the rest.
     ``storage="disk"`` scenarios run against fresh tmpdir-rooted
     :class:`~repro.storage.stable.DiskStorage` backends (removed after
-    the measurement).
+    the measurement); ``"wal"`` / ``"wal-disk"`` wrap the in-memory /
+    tmpdir backend in a fresh :class:`~repro.storage.wal.WalStore`, so
+    the whole kill/restart/verify pipeline — including WAL replay on
+    restart — runs against the log-structured engine.
     """
     s = scenario
     root = None
     factory = None
-    if s.storage == "disk":
+    if s.storage in ("disk", "wal-disk"):
         import tempfile
 
         from ..storage.stable import DiskStorage
@@ -390,10 +439,16 @@ def _measure_scenario(scenario: Scenario) -> Dict:
         root = tempfile.mkdtemp(prefix="repro-campaign-")
         seq = iter(range(1 << 30))
         factory = lambda: DiskStorage(f"{root}/store{next(seq)}")  # noqa: E731
-    elif s.storage != "memory":
+    elif s.storage not in ("memory", "wal"):
         return _error_record(
             s, ValueError(f"unknown storage backend {s.storage!r} "
-                          "(known: memory, disk)"))
+                          "(known: memory, disk, wal, wal-disk)"))
+    if s.storage in WAL_STORAGES:
+        from ..storage.stable import InMemoryStorage
+        from ..storage.wal import WalStore
+
+        backend_factory = factory or InMemoryStorage
+        factory = lambda: WalStore(backend_factory())  # noqa: E731
     try:
         return measure_recovery(
             s.app, s.nprocs, MACHINES[s.platform], dict(s.params),
@@ -508,10 +563,13 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     ap.add_argument("--engine", choices=["cooperative", "threads"],
                     help="execution backend (default: the cooperative "
                          "scheduler, or REPRO_ENGINE)")
-    ap.add_argument("--storage", choices=["memory", "disk"],
+    ap.add_argument("--storage",
+                    choices=["memory", "disk", "wal", "wal-disk"],
                     default="memory",
-                    help="stable-storage backend per scenario: in-memory "
-                         "(default) or tmpdir-rooted real files")
+                    help="stable-storage engine per scenario: scatter "
+                         "layout over in-memory (default) or tmpdir-rooted "
+                         "real files, or the WAL engine over the same two "
+                         "backends (enables the group-commit kill windows)")
     ap.add_argument("--interval-frac", type=float, default=0.2,
                     help="checkpoint interval as a fraction of the golden "
                          "runtime (default 0.2)")

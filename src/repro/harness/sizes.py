@@ -18,7 +18,11 @@ each kernel it measures, per process,
   (:mod:`repro.statesave.serializer`);
 * ``c3_committed_bytes`` — what the *protocol* actually wrote to stable
   storage for the last recovery line of a real checkpointed run
-  (``statesave.Context`` → serializer → ``CheckpointWriter`` → storage);
+  (``statesave.Context`` → serializer → ``CheckpointWriter`` → the
+  production WAL store);
+* ``wal_retained_bytes`` — what that WAL engine physically holds per
+  process after the run: live recovery lines plus record framing, after
+  segment GC (the retention column; DESIGN.md §8);
 * ``incremental_delta_bytes`` — the same run under
   ``C3Config(incremental=True)``: the dirty-page delta the
   :class:`~repro.statesave.incremental.IncrementalTracker` emits once
@@ -53,6 +57,7 @@ from ..core.protocol import C3Config
 from ..mpi.timemodel import LINUX_UNIPROC, MachineModel, SOLARIS_UNIPROC
 from ..statesave.serializer import dumps
 from ..storage.stable import InMemoryStorage
+from ..storage.wal import WalStore
 from .platforms import SIZE_SCALE
 from .report import render_table
 
@@ -148,10 +153,14 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
     def c3_app(ctx):
         return app(ctx, **params)
 
-    # 2. real protocol run: what the last recovery line wrote per process
+    # 2. real protocol run through the production WAL engine: what the
+    #    last recovery line wrote per process, plus what the log-structured
+    #    store physically retains after segment GC (record framing +
+    #    not-yet-compacted garbage included)
     config = C3Config(checkpoint_interval=base.virtual_time * interval_frac)
+    wal_store = WalStore(InMemoryStorage())
     full_run, full_stats = run_c3(c3_app, nprocs, machine=machine,
-                                  storage=InMemoryStorage(), config=config,
+                                  storage=wal_store, config=config,
                                   wall_timeout=wall_timeout, engine=engine)
     full_run.raise_errors()
     fst = [s for s in full_stats if s is not None]
@@ -159,6 +168,7 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
     # last_committed_bytes: what actually reached stable storage — a line
     # that was started but never committed must not be reported (or gated)
     c3_committed = max((s.last_committed_bytes for s in fst), default=0)
+    wal_retained = wal_store.storage_bytes() // nprocs
 
     # 3. the same run with incremental checkpointing: the last save is a
     #    dirty-page delta against the previous line
@@ -185,6 +195,9 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
         "condor_payload_bytes": acct["condor_payload_bytes"],
         "c3_payload_bytes": acct["c3_payload_bytes"],
         "c3_committed_bytes": c3_committed,
+        #: per-process bytes the WAL engine holds on its backend after
+        #: segment GC — live lines plus framing, the retention column
+        "wal_retained_bytes": wal_retained,
         "incremental_delta_bytes": (inc_delta if inc_committed >= 2
                                     else None),
         "reduction_pct": acct["reduction"] * 100.0,
@@ -235,6 +248,7 @@ def render_sizes(rows: Sequence[Dict]) -> str:
             r["condor_bytes"] / 1e3, r["c3_bytes"] / 1e3,
             r["reduction_pct"],
             r["c3_committed_bytes"] / 1e3,
+            r.get("wal_retained_bytes", 0) / 1e3,
             (r["incremental_delta_bytes"] / 1e3
              if r["incremental_delta_bytes"] is not None else None),
             r["checkpoints_committed"],
@@ -243,8 +257,8 @@ def render_sizes(rows: Sequence[Dict]) -> str:
         "Checkpoint sizes per process: Condor image vs C3 (instrumented "
         "kernels, scaled footprint)",
         ["Kernel", "Gate", "Condor KB", "C3 KB", "Red.%", "Committed KB",
-         "Delta KB", "Lines"],
-        table_rows, widths=[10, 5, 11, 9, 7, 12, 9, 6],
+         "WAL KB", "Delta KB", "Lines"],
+        table_rows, widths=[10, 5, 11, 9, 7, 12, 8, 9, 6],
     )
 
 

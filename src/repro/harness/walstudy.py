@@ -1,0 +1,402 @@
+"""WAL group-commit study: fsyncs-per-line of the log-structured engine.
+
+The scatter layout pays one durability point per storage object — every
+section and every COMMIT marker of every rank is its own fsync, which is
+exactly the cost model ROADMAP item 5 says the storage layer cannot
+carry into campaign-as-a-service scale.  The WAL engine
+(:mod:`repro.storage.wal`, DESIGN.md §8) amortizes it: co-located ranks
+append into one per-node log and a line's commits ride down in a single
+batched fsync per node — the *group commit*.
+
+Two row families, both gate-judged (exit status 1 on violation):
+
+* **Commit cells** — a real C3 job per (platform, kernel), once over the
+  scatter layout and once over the WAL, both on the real-file
+  :class:`~repro.storage.stable.DiskStorage` backend.  Gates: the WAL's
+  fsyncs-per-committed-line must be *strictly below* the scatter
+  layout's; the WAL must stay within one fsync per node per committed
+  line (plus one end-of-job flush per node); and segment GC must leave
+  at most 2 live recovery lines per rank.
+* **Discipline cells** — a controlled write schedule (every rank commits
+  ``lines`` lines, no job noise) on both backends across node shapes.
+  Gate: **exactly** one fsync per node per group-committed line — the
+  pinned form of the acceptance bound — and a reopened store must
+  replay to the same index with bitwise-identical payloads.
+
+Command line::
+
+    python -m repro.harness.walstudy                    # all 3 platforms
+    python -m repro.harness.walstudy --json BENCH_wal.json
+    python -m repro.harness.walstudy --platforms lemieux --kernels heat
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.ccc import run_c3, run_original
+from ..core.protocol import C3Config
+from ..mpi.timemodel import MACHINES
+from ..storage.manifest import section_digest
+from ..storage.stable import DiskStorage, InMemoryStorage
+from ..storage.store import as_store
+from ..storage.wal import WalStore
+from .overlap import OVERLAP_KERNELS
+from .report import render_table
+
+__all__ = [
+    "WAL_KERNELS", "WAL_PLATFORMS", "commit_rows", "discipline_rows",
+    "main", "render_commits", "render_discipline",
+]
+
+#: the three platform models of the evaluation; their procs_per_node
+#: (4 / 2 / 2) are the group sizes the WAL coalesces commits over
+WAL_PLATFORMS = ("lemieux", "velocity2", "cmi")
+
+#: steady-state-sized kernels (shared with the overlap study): several
+#: checkpoint intervals per run, commits and GC happening *during* the
+#: run rather than piling into the end-of-job flush
+WAL_KERNELS: Dict[str, dict] = OVERLAP_KERNELS
+
+#: checkpoint interval as a fraction of the golden runtime (the overlap
+#: study's steady-state cadence)
+INTERVAL_FRAC = 0.18
+
+
+def _nodes(nprocs: int, procs_per_node: int) -> int:
+    return -(-nprocs // max(1, procs_per_node))
+
+
+def _retained(store) -> int:
+    return max((len(v) for v in store.lines_on_storage().values()),
+               default=0)
+
+
+def commit_rows(platforms: Sequence[str] = WAL_PLATFORMS,
+                kernels: Optional[Sequence[str]] = None,
+                nprocs: int = 4,
+                engine: Optional[str] = None) -> List[Dict]:
+    """One gate-judged scatter-vs-WAL cell per (platform, kernel)."""
+    names = list(kernels) if kernels else sorted(WAL_KERNELS)
+    rows = []
+    for platform in platforms:
+        machine = MACHINES[platform]
+        for name in names:
+            params = WAL_KERNELS[name]
+            golden = run_original(name_app(name), nprocs, machine=machine,
+                                  engine=engine)
+            golden.raise_errors()
+            config = C3Config(
+                checkpoint_interval=golden.virtual_time * INTERVAL_FRAC)
+            with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
+                scatter_backend = DiskStorage(f"{tmp}/scatter")
+                result, _ = run_c3(name_app(name), nprocs, machine=machine,
+                                   storage=scatter_backend, config=config,
+                                   engine=engine)
+                result.raise_errors()
+                scatter = as_store(scatter_backend)
+                scatter_lines = scatter.last_committed_global(nprocs) or 0
+                scatter_fsyncs = scatter_backend.fsync_count
+                scatter_bytes = scatter_backend.total_bytes()
+                scatter_retained = _retained(scatter)
+
+                wal_backend = DiskStorage(f"{tmp}/wal")
+                store = WalStore(wal_backend)
+                result, _ = run_c3(name_app(name), nprocs, machine=machine,
+                                   storage=store, config=config,
+                                   engine=engine)
+                result.raise_errors()
+                wal_lines = store.last_committed_global(nprocs) or 0
+                wal_fsyncs = wal_backend.fsync_count
+                wal_bytes = wal_backend.total_bytes()
+                wal_retained = _retained(store)
+                wal_stats = store.stats()
+            nodes = _nodes(nprocs, machine.procs_per_node)
+            row = {
+                "platform": platform,
+                "kernel": name,
+                "nprocs": nprocs,
+                "nodes": nodes,
+                "procs_per_node": machine.procs_per_node,
+                "scatter_lines": scatter_lines,
+                "wal_lines": wal_lines,
+                "scatter_fsyncs": scatter_fsyncs,
+                "wal_fsyncs": wal_fsyncs,
+                "scatter_fsyncs_per_line": (scatter_fsyncs / scatter_lines
+                                            if scatter_lines else None),
+                "wal_fsyncs_per_line": (wal_fsyncs / wal_lines
+                                        if wal_lines else None),
+                "wal_fsyncs_per_node_per_line": (
+                    wal_fsyncs / (nodes * wal_lines) if wal_lines else None),
+                "group_commits": wal_stats["group_commits"],
+                "segments_created": wal_stats["segments_created"],
+                "segments_retired": wal_stats["segments_retired"],
+                "segments_compacted": wal_stats["segments_compacted"],
+                "scatter_stored_bytes": scatter_bytes,
+                "wal_stored_bytes": wal_bytes,
+                "scatter_lines_retained": scatter_retained,
+                "wal_lines_retained": wal_retained,
+            }
+            row["failure"] = _judge_commit(row)
+            row["passed"] = row["failure"] is None
+            rows.append(row)
+    return rows
+
+
+def name_app(name: str):
+    """The campaign-style app callable for one study kernel."""
+    from ..apps import APPS
+    app = APPS[name]
+    params = WAL_KERNELS[name]
+
+    def wrapped(ctx):
+        return app(ctx, **params)
+
+    wrapped.__name__ = f"{name}_walstudy"
+    return wrapped
+
+
+def _judge_commit(row: Dict) -> Optional[str]:
+    """The group-commit gates for one scatter-vs-WAL cell (None = pass)."""
+    if row["scatter_lines"] < 2 or row["wal_lines"] < 2:
+        return (f"too few committed lines for a steady-state measurement "
+                f"(scatter {row['scatter_lines']}, wal {row['wal_lines']})")
+    if not row["wal_fsyncs_per_line"] < row["scatter_fsyncs_per_line"]:
+        return (f"group commit did not reduce fsyncs per line "
+                f"({row['wal_fsyncs_per_line']:.2f} >= "
+                f"{row['scatter_fsyncs_per_line']:.2f})")
+    # <= 1 fsync per node per committed line, plus at most one
+    # end-of-job flush per node (the MPI_Finalize drain of staged GC
+    # tombstones).
+    budget = row["nodes"] * (row["wal_lines"] + 1)
+    if row["wal_fsyncs"] > budget:
+        return (f"WAL exceeded one fsync per node per committed line "
+                f"({row['wal_fsyncs']} > {row['nodes']} nodes x "
+                f"({row['wal_lines']} lines + 1 final flush))")
+    # Segment GC must retain no more lines than the scatter layout's
+    # per-file deletes, and <= 2 whenever the cell reaches GC steady
+    # state (kernels whose drain backlog defers every commit into the
+    # end-of-job flush legitimately retain more — identically on both
+    # engines, so the parity bound is the storage-engine gate).
+    budget = max(2, row["scatter_lines_retained"])
+    if row["wal_lines_retained"] > budget:
+        return (f"segment GC left {row['wal_lines_retained']} recovery "
+                f"lines per rank on storage (> {budget}: the scatter "
+                "baseline's retention)")
+    return None
+
+
+def discipline_rows(nprocs: int = 4, lines: int = 6,
+                    backends: Sequence[str] = ("memory", "disk"),
+                    ) -> List[Dict]:
+    """Controlled group-commit cells: exact fsync counts, replay parity.
+
+    Every rank writes one section and commits, for ``lines`` lines, over
+    every node shape — no job noise, so the fsync count is pinned
+    *exactly*: one per node per group-committed line.  The disk cells
+    then reopen the backend cold and require WAL replay to rebuild the
+    same committed index with bitwise-identical payloads.
+    """
+    rows = []
+    for backend_name in backends:
+        for ppn in (1, 2, nprocs):
+            with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
+                if backend_name == "disk":
+                    backend = DiskStorage(tmp)
+                else:
+                    backend = InMemoryStorage()
+                store = WalStore(backend)
+                store.configure(nprocs, procs_per_node=ppn)
+                payloads = {}
+                for v in range(1, lines + 1):
+                    for r in range(nprocs):
+                        payload = bytes(((v * 31 + r + i) % 256)
+                                        for i in range(128))
+                        payloads[(v, r)] = payload
+                        store.put_section(v, r, "state", payload)
+                        store.commit_line(
+                            v, r, sections={
+                                "state": (len(payload),
+                                          section_digest(payload))})
+                nodes = _nodes(nprocs, ppn)
+                fsyncs = backend.fsync_count
+                replay_ok = True
+                if backend_name == "disk":
+                    reopened = WalStore(backend)
+                    reopened.configure(nprocs, procs_per_node=ppn)
+                    replay_ok = (
+                        reopened.last_committed_global(nprocs) == lines
+                        and all(reopened.read_section(v, r, "state")
+                                == payloads[(v, r)]
+                                for v in range(1, lines + 1)
+                                for r in range(nprocs)))
+            row = {
+                "backend": backend_name,
+                "nprocs": nprocs,
+                "procs_per_node": ppn,
+                "nodes": nodes,
+                "lines": lines,
+                "fsyncs": fsyncs,
+                "fsyncs_per_node_per_line": fsyncs / (nodes * lines),
+                "replay_bitwise": replay_ok,
+            }
+            row["failure"] = _judge_discipline(row)
+            row["passed"] = row["failure"] is None
+            rows.append(row)
+    return rows
+
+
+def _judge_discipline(row: Dict) -> Optional[str]:
+    expected = row["nodes"] * row["lines"]
+    if row["fsyncs"] != expected:
+        return (f"expected exactly one fsync per node per line "
+                f"({expected}), counted {row['fsyncs']}")
+    if not row["replay_bitwise"]:
+        return "replayed store did not match the written lines bitwise"
+    return None
+
+
+def render_commits(rows: Sequence[Dict]) -> str:
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r["platform"], r["kernel"], "PASS" if r["passed"] else "FAIL",
+            r["wal_lines"],
+            r["scatter_fsyncs_per_line"], r["wal_fsyncs_per_line"],
+            r["wal_fsyncs_per_node_per_line"],
+            r["group_commits"], r["segments_retired"],
+            r["wal_lines_retained"],
+        ])
+    return render_table(
+        "WAL group commit vs per-file scatter (DiskStorage; fsyncs per "
+        "committed line)",
+        ["Platform", "Kernel", "Gate", "Lines", "Scatter f/l", "WAL f/l",
+         "WAL f/node/l", "GrpCommits", "SegRetired", "Held"],
+        table_rows, widths=[9, 8, 5, 6, 12, 9, 13, 10, 10, 5],
+    )
+
+
+def render_discipline(rows: Sequence[Dict]) -> str:
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            f"{r['backend']}/ppn{r['procs_per_node']}",
+            "PASS" if r["passed"] else "FAIL",
+            r["nodes"], r["lines"], r["fsyncs"],
+            r["fsyncs_per_node_per_line"],
+            "yes" if r["replay_bitwise"] else "NO",
+        ])
+    return render_table(
+        "Group-commit discipline: exactly one fsync per node per line",
+        ["Cell", "Gate", "Nodes", "Lines", "Fsyncs", "F/node/line",
+         "Replay="],
+        table_rows, widths=[12, 5, 6, 6, 7, 12, 8],
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness.walstudy",
+        description="WAL group-commit study: fsyncs per committed line of "
+                    "the log-structured engine vs the per-file scatter "
+                    "layout on real files, plus exact-count group-commit "
+                    "discipline cells; exits non-zero if group commit does "
+                    "not reduce fsyncs per line, exceeds one fsync per "
+                    "node per line, or GC retains more than 2 lines.")
+    ap.add_argument("--platforms",
+                    help="comma-separated platform models "
+                         f"(default: {', '.join(WAL_PLATFORMS)})")
+    ap.add_argument("--kernels",
+                    help="comma-separated kernels "
+                         f"(default: {', '.join(sorted(WAL_KERNELS))})")
+    ap.add_argument("--nprocs", type=int, default=4,
+                    help="simulated ranks per run (default 4)")
+    ap.add_argument("--engine", choices=["cooperative", "threads"],
+                    help="execution backend (default: cooperative)")
+    ap.add_argument("--skip-discipline", action="store_true",
+                    help="commit cells only (no controlled-count slice)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the machine-readable report here")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    return ap.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    platforms = (args.platforms.split(",") if args.platforms
+                 else list(WAL_PLATFORMS))
+    kernels = args.kernels.split(",") if args.kernels else None
+    unknown = [p for p in platforms if p not in MACHINES]
+    if unknown:
+        print(f"unknown platforms: {unknown}; have {sorted(MACHINES)}",
+              file=sys.stderr)
+        return 2
+    if kernels:
+        unknown = [k for k in kernels if k not in WAL_KERNELS]
+        if unknown:
+            print(f"unknown kernels: {unknown}; have {sorted(WAL_KERNELS)}",
+                  file=sys.stderr)
+            return 2
+
+    t0 = time.time()
+    c_rows = commit_rows(platforms, kernels, nprocs=args.nprocs,
+                         engine=args.engine)
+    if not args.quiet:
+        for r in c_rows:
+            verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
+            print(f"{verdict} {r['platform']}/{r['kernel']}: "
+                  f"scatter={r['scatter_fsyncs_per_line']:.1f} f/line "
+                  f"wal={r['wal_fsyncs_per_line']:.2f} f/line", flush=True)
+    d_rows = []
+    if not args.skip_discipline:
+        d_rows = discipline_rows(nprocs=args.nprocs)
+        if not args.quiet:
+            for r in d_rows:
+                verdict = ("PASS" if r["passed"]
+                           else f"FAIL ({r['failure']})")
+                print(f"{verdict} {r['backend']}/ppn{r['procs_per_node']}: "
+                      f"{r['fsyncs']} fsyncs for {r['nodes']} nodes x "
+                      f"{r['lines']} lines", flush=True)
+    wall = time.time() - t0
+
+    print()
+    print(render_commits(c_rows))
+    if d_rows:
+        print()
+        print(render_discipline(d_rows))
+    failures = ([f"{r['platform']}/{r['kernel']}"
+                 for r in c_rows if not r["passed"]]
+                + [f"{r['backend']}/ppn{r['procs_per_node']}"
+                   for r in d_rows if not r["passed"]])
+    summary = {
+        "commit_cells": len(c_rows),
+        "discipline_cells": len(d_rows),
+        "passed": len(c_rows) + len(d_rows) - len(failures),
+        "failed": failures,
+        "wall_seconds": wall,
+    }
+    print(f"\n{summary['passed']}/{len(c_rows) + len(d_rows)} cells within "
+          f"the WAL gates ({wall:.1f}s wall)")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump({"summary": summary, "commits": c_rows,
+                       "discipline": d_rows}, f, indent=2, default=str)
+        print(f"wrote {args.json}")
+    if failures:
+        print("FAILED cells:", ", ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -246,6 +246,17 @@ class RankContext:
         """
         self.engine.fault_plan.note_commit(self.rank, version, self.clock.now)
 
+    def group_commit_fault_point(self, version: int) -> None:
+        """Group-commit check point (``at_group_commit`` fault specs).
+
+        Called by the WAL checkpoint store right after this rank's COMMIT
+        record for line ``version`` is staged in the node's log buffer,
+        before the batched-fsync decision — a kill here tears the record
+        out of the log tail, the window WAL replay must truncate.
+        """
+        self.engine.fault_plan.note_group_commit(self.rank, version,
+                                                 self.clock.now)
+
     # -- virtual-time fault delivery -----------------------------------------
     @property
     def has_due_fault(self) -> bool:

@@ -65,22 +65,31 @@ class FaultSpec:
     #: before its COMMIT marker would be written: the kill-mid-commit
     #: scenario — the narrowest tear window of the commit pipeline
     at_commit: Optional[int] = None
+    #: fire right after the rank's COMMIT record for line N has been
+    #: staged into its node's WAL buffer, before the group-commit flush
+    #: decision: the kill-mid-group-commit scenario — the record is torn
+    #: out of the log tail, so replay must truncate and recovery fall
+    #: back (WAL stores only; scatter stores never report this window)
+    at_group_commit: Optional[int] = None
     reason: str = "injected fail-stop fault"
 
     def __post_init__(self) -> None:
         if (self.after_ops is None and self.at_time is None
                 and self.probability <= 0 and self.at_epoch is None
                 and self.in_collective is None and self.in_drain is None
-                and self.at_commit is None):
+                and self.at_commit is None and self.at_group_commit is None):
             raise ValueError("FaultSpec needs after_ops, at_time, "
                              "probability, at_epoch, in_collective, "
-                             "in_drain, or at_commit")
+                             "in_drain, at_commit, or at_group_commit")
         if self.in_collective is not None and self.in_collective < 1:
             raise ValueError("in_collective is a 1-based collective index")
         if self.in_drain is not None and self.in_drain < 1:
             raise ValueError("in_drain is a 1-based recovery-line version")
         if self.at_commit is not None and self.at_commit < 1:
             raise ValueError("at_commit is a 1-based recovery-line version")
+        if self.at_group_commit is not None and self.at_group_commit < 1:
+            raise ValueError(
+                "at_group_commit is a 1-based recovery-line version")
 
     def describe(self) -> str:
         """Human-readable trigger summary for campaign reports."""
@@ -99,6 +108,8 @@ class FaultSpec:
             parts.append(f"in drain of line {self.in_drain}")
         if self.at_commit is not None:
             parts.append(f"at commit of line {self.at_commit}")
+        if self.at_group_commit is not None:
+            parts.append(f"at group commit of line {self.at_group_commit}")
         return f"rank {self.rank}: " + ", ".join(parts)
 
 
@@ -193,6 +204,16 @@ class FaultPlan:
             if spec in self.fired or spec.at_commit is None:
                 continue
             if version >= spec.at_commit:
+                self._fire(spec, rank, now)
+
+    def note_group_commit(self, rank: int, version: int, now: float) -> None:
+        """Group-commit check point, called by the WAL store right after
+        the rank's COMMIT record for line ``version`` is staged in the
+        node's log buffer and before the batched-fsync decision."""
+        for spec in self.specs.get(rank, ()):
+            if spec in self.fired or spec.at_group_commit is None:
+                continue
+            if version >= spec.at_group_commit:
                 self._fire(spec, rank, now)
 
     def __bool__(self) -> bool:

@@ -17,10 +17,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..storage.manifest import (
-    line_manifest, record_commit, section_digest, section_path,
-)
-from ..storage.stable import StorageBackend, StorageError
+from ..storage.manifest import section_digest
+from ..storage.stable import StorageError
+from ..storage.store import as_store
 from .serializer import Serializer
 
 
@@ -40,9 +39,10 @@ class CheckpointWriter:
     defers that call until the staged bytes are durable in virtual time.
     """
 
-    def __init__(self, storage: StorageBackend, version: int, rank: int,
+    def __init__(self, storage, version: int, rank: int,
                  portable: bool = False, dry_run: bool = False):
         self.storage = storage
+        self.store = as_store(storage)
         self.version = version
         self.rank = rank
         self.dry_run = dry_run
@@ -60,8 +60,7 @@ class CheckpointWriter:
         if self.dry_run:
             self._written[section] = (len(payload), "")
         else:
-            self.storage.write(section_path(self.version, self.rank, section),
-                               payload)
+            self.store.put_section(self.version, self.rank, section, payload)
             self._written[section] = (len(payload), section_digest(payload))
         return len(payload)
 
@@ -85,8 +84,8 @@ class CheckpointWriter:
         if self.committed:
             raise CheckpointError("checkpoint already committed")
         if not self.dry_run:
-            record_commit(self.storage, self.version, self.rank,
-                          sections=self._written)
+            self.store.commit_line(self.version, self.rank,
+                                   sections=self._written)
         self.committed = True
 
 
@@ -99,18 +98,18 @@ class CheckpointReader:
     garbage restore.
     """
 
-    def __init__(self, storage: StorageBackend, version: int, rank: int):
+    def __init__(self, storage, version: int, rank: int):
         self.storage = storage
+        self.store = as_store(storage)
         self.version = version
         self.rank = rank
         self._serializer = Serializer()
-        self._manifest: Optional[dict] = line_manifest(storage, version, rank)
+        self._manifest: Optional[dict] = self.store.line_manifest(version, rank)
 
     def load(self, section: str) -> Any:
         """Read, verify, and deserialize one section (raises if missing)."""
         try:
-            payload = self.storage.read(
-                section_path(self.version, self.rank, section))
+            payload = self.store.read_section(self.version, self.rank, section)
         except StorageError:
             raise CheckpointError(
                 f"rank {self.rank} checkpoint v{self.version} has no section "
@@ -131,21 +130,16 @@ class CheckpointReader:
 
     def has(self, section: str) -> bool:
         """Does this checkpoint contain ``section``?"""
-        return self.storage.exists(section_path(self.version, self.rank, section))
+        return self.store.has_section(self.version, self.rank, section)
 
     def total_bytes(self) -> int:
         """Payload bytes of every stored section (excluding the marker).
 
-        Manifest-first, like :func:`repro.storage.manifest.checkpoint_bytes`:
-        sizes come from the commit record or ``StorageBackend.size`` —
+        Manifest-first, like :meth:`CheckpointStore.checkpoint_bytes`:
+        sizes come from the commit record or stored object metadata —
         payloads are never read just to be measured.
         """
         if self._manifest is not None:
             return sum(int(nbytes)
                        for nbytes, _ in self._manifest["sections"].values())
-        prefix = f"ckpt/v{self.version}/rank{self.rank}/"
-        return sum(
-            self.storage.size(p)
-            for p in self.storage.list(prefix)
-            if not p.endswith("/COMMIT")
-        )
+        return self.store.checkpoint_bytes(self.version, self.rank)

@@ -7,6 +7,8 @@ from .manifest import (
     record_commit, section_digest, section_path, validate_line,
 )
 from .stable import DiskStorage, InMemoryStorage, StorageBackend, StorageError
+from .store import CheckpointStore, ScatterStore, as_store
+from .wal import WalStore
 
 __all__ = [
     "StorageBackend", "InMemoryStorage", "DiskStorage", "StorageError",
@@ -15,4 +17,5 @@ __all__ = [
     "section_path", "commit_path", "line_manifest", "section_digest",
     "validate_line", "delete_line",
     "DrainDaemon", "DrainDevice", "DrainReport",
+    "CheckpointStore", "ScatterStore", "WalStore", "as_store",
 ]

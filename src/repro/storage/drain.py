@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..mpi.timemodel import MachineModel
-from .manifest import checkpoint_bytes, last_committed_global
 from .stable import StorageBackend
+from .store import as_store
 
 
 class DrainDevice:
@@ -143,7 +143,7 @@ class DrainDaemon:
             synchronous_penalty=max(0.0, sync_penalty),
         )
 
-    def drain_line(self, storage: StorageBackend, nprocs: int,
+    def drain_line(self, storage, nprocs: int,
                    version: Optional[int] = None,
                    start_times: Optional[Sequence[float]] = None,
                    ) -> Optional[DrainReport]:
@@ -159,11 +159,12 @@ class DrainDaemon:
         ``start_times`` defaults to every rank starting its local write at
         t=0 (the worst case for drain-stream contention).
         """
+        store = as_store(storage)
         if version is None:
-            version = last_committed_global(storage, nprocs)
+            version = store.last_committed_global(nprocs)
             if version is None:
                 return None
-        sizes = [checkpoint_bytes(storage, version, r) for r in range(nprocs)]
+        sizes = [store.checkpoint_bytes(version, r) for r in range(nprocs)]
         if start_times is None:
             start_times = [0.0] * nprocs
         return self.drain(start_times, sizes)

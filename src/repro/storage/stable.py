@@ -13,18 +13,52 @@ writes through a :class:`StorageBackend`.  Two implementations:
 Backends are pure byte stores; *time* for I/O is charged by the caller
 from the machine model (``disk_write_time``), so configuration #2 of
 Tables 4–5 (go through the motions, skip the write) is expressible.
+
+Both backends expose the same path discipline (slash-separated relative
+paths; anything escaping the root is rejected) and the same accounting
+counters (``write_count``, ``written_bytes``, ``fsync_count``), so a
+campaign's storage traffic can be compared across backends without the
+semantics silently diverging.  ``fsync_count`` models durability points:
+:class:`DiskStorage` counts real ``os.fsync`` calls, and
+:class:`InMemoryStorage` counts where the disk backend *would* have
+fsynced (one per atomic ``write``, one per ``sync``) — which is what
+lets the group-commit study report fsyncs-per-committed-line on either.
+
+On top of the atomic object operations the backends support an
+*append stream* API — :meth:`StorageBackend.append`,
+:meth:`StorageBackend.sync`, :meth:`StorageBackend.read_range` — used by
+the log-structured WAL engine (:mod:`repro.storage.wal`): appends extend
+an object without the read-modify-write an atomic ``write`` would need,
+carry **no** durability on their own, and become durable only at the
+next ``sync`` (the batched fsync of a group commit).
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import posixpath
 import threading
 from typing import Dict, List
 
 
 class StorageError(Exception):
     """Missing object / invalid path in a storage backend."""
+
+
+def normalize_path(path: str) -> str:
+    """Canonical slash-separated relative path, or :class:`StorageError`.
+
+    The one normalization both backends share: collapse ``.``/``//``
+    segments, reject absolute paths and anything whose ``..`` segments
+    would escape the storage root.  Keeping this in one place is what
+    stops campaign results from silently diverging by backend — a path
+    :class:`DiskStorage` refuses must be refused in memory too.
+    """
+    norm = posixpath.normpath(path)
+    if norm.startswith("..") or posixpath.isabs(norm) or norm == ".":
+        raise StorageError(f"path escapes storage root: {path!r}")
+    return norm
 
 
 class StorageBackend:
@@ -53,6 +87,25 @@ class StorageBackend:
     def total_bytes(self, prefix: str = "") -> int:
         return sum(self.size(p) for p in self.list(prefix))
 
+    # -- append-stream API (the WAL substrate) ------------------------------
+    def append(self, path: str, data: bytes) -> int:
+        """Extend ``path`` with ``data`` (creating it if absent).
+
+        Returns the offset the appended bytes start at.  Appends carry no
+        durability: a crash before the next :meth:`sync` may lose or tear
+        the appended tail — exactly the window the WAL replay truncates.
+        """
+        raise NotImplementedError
+
+    def sync(self, path: str) -> None:
+        """Durability point for everything appended to ``path`` so far."""
+        raise NotImplementedError
+
+    def read_range(self, path: str, offset: int, nbytes: int) -> bytes:
+        """``nbytes`` of one object starting at ``offset`` (may be short
+        if the object ends first)."""
+        return self.read(path)[offset:offset + nbytes]
+
 
 class InMemoryStorage(StorageBackend):
     """Thread-safe in-memory byte store (the simulated node-local disk)."""
@@ -62,14 +115,20 @@ class InMemoryStorage(StorageBackend):
         self._data: Dict[str, bytes] = {}
         self.write_count = 0
         self.written_bytes = 0
+        #: durability points the disk backend would have paid (one per
+        #: atomic write, one per explicit sync) — see the module docstring
+        self.fsync_count = 0
 
     def write(self, path: str, data: bytes) -> None:
+        path = normalize_path(path)
         with self._lock:
             self._data[path] = bytes(data)
             self.write_count += 1
             self.written_bytes += len(data)
+            self.fsync_count += 1
 
     def read(self, path: str) -> bytes:
+        path = normalize_path(path)
         with self._lock:
             try:
                 return self._data[path]
@@ -77,10 +136,12 @@ class InMemoryStorage(StorageBackend):
                 raise StorageError(f"no stored object at {path!r}") from None
 
     def exists(self, path: str) -> bool:
+        path = normalize_path(path)
         with self._lock:
             return path in self._data
 
     def delete(self, path: str) -> None:
+        path = normalize_path(path)
         with self._lock:
             if path not in self._data:
                 raise StorageError(f"no stored object at {path!r}")
@@ -91,9 +152,32 @@ class InMemoryStorage(StorageBackend):
             return sorted(p for p in self._data if p.startswith(prefix))
 
     def size(self, path: str) -> int:
+        path = normalize_path(path)
         with self._lock:
             try:
                 return len(self._data[path])
+            except KeyError:
+                raise StorageError(f"no stored object at {path!r}") from None
+
+    def append(self, path: str, data: bytes) -> int:
+        path = normalize_path(path)
+        with self._lock:
+            old = self._data.get(path, b"")
+            self._data[path] = old + bytes(data)
+            self.write_count += 1
+            self.written_bytes += len(data)
+            return len(old)
+
+    def sync(self, path: str) -> None:
+        normalize_path(path)
+        with self._lock:
+            self.fsync_count += 1
+
+    def read_range(self, path: str, offset: int, nbytes: int) -> bytes:
+        path = normalize_path(path)
+        with self._lock:
+            try:
+                return self._data[path][offset:offset + nbytes]
             except KeyError:
                 raise StorageError(f"no stored object at {path!r}") from None
 
@@ -107,6 +191,9 @@ class DiskStorage(StorageBackend):
     overlapped drain path commits many ranks' sections through one
     backend — therefore never serialize on a backend-global mutex, and
     readers always observe either the old or the new complete payload.
+
+    Appends go straight to the file (``"ab"``), unsynced; :meth:`sync`
+    fsyncs the file once — the WAL's group-commit durability point.
     """
 
     def __init__(self, root: str):
@@ -115,12 +202,12 @@ class DiskStorage(StorageBackend):
         #: itertools.count is advanced atomically under the GIL; combined
         #: with pid+tid it makes temp names collision-free
         self._tmp_seq = itertools.count()
+        self.write_count = 0
+        self.written_bytes = 0
+        self.fsync_count = 0
 
     def _fs_path(self, path: str) -> str:
-        norm = os.path.normpath(path)
-        if norm.startswith("..") or os.path.isabs(norm):
-            raise StorageError(f"path escapes storage root: {path!r}")
-        return os.path.join(self.root, norm)
+        return os.path.join(self.root, normalize_path(path).replace("/", os.sep))
 
     def write(self, path: str, data: bytes) -> None:
         fs = self._fs_path(path)
@@ -133,6 +220,9 @@ class DiskStorage(StorageBackend):
                 f.flush()
                 os.fsync(f.fileno())
             os.replace(tmp, fs)
+            self.write_count += 1
+            self.written_bytes += len(data)
+            self.fsync_count += 1
         except BaseException:
             try:
                 os.remove(tmp)
@@ -164,8 +254,21 @@ class DiskStorage(StorageBackend):
             raise StorageError(f"no stored object at {path!r}") from None
 
     def list(self, prefix: str = "") -> List[str]:
+        # Prune the walk to the deepest directory the prefix pins down:
+        # GC and committed_map list on every commit, and walking the whole
+        # root made each of those O(total objects) instead of O(line).
+        dirpart, _, _ = prefix.rpartition("/")
+        base = self.root
+        if dirpart:
+            try:
+                base = os.path.join(self.root,
+                                    normalize_path(dirpart).replace("/", os.sep))
+            except StorageError:
+                return []
         out = []
-        for dirpath, _dirs, files in os.walk(self.root):
+        if not os.path.isdir(base):
+            return out
+        for dirpath, _dirs, files in os.walk(base):
             for fname in files:
                 if fname.endswith(".tmp"):
                     continue
@@ -174,3 +277,31 @@ class DiskStorage(StorageBackend):
                 if rel.startswith(prefix):
                     out.append(rel)
         return sorted(out)
+
+    def append(self, path: str, data: bytes) -> int:
+        fs = self._fs_path(path)
+        os.makedirs(os.path.dirname(fs), exist_ok=True)
+        with open(fs, "ab") as f:
+            offset = f.tell()
+            f.write(data)
+        self.write_count += 1
+        self.written_bytes += len(data)
+        return offset
+
+    def sync(self, path: str) -> None:
+        fs = self._fs_path(path)
+        try:
+            with open(fs, "rb") as f:
+                os.fsync(f.fileno())
+        except FileNotFoundError:
+            raise StorageError(f"no stored object at {path!r}") from None
+        self.fsync_count += 1
+
+    def read_range(self, path: str, offset: int, nbytes: int) -> bytes:
+        fs = self._fs_path(path)
+        try:
+            with open(fs, "rb") as f:
+                f.seek(offset)
+                return f.read(nbytes)
+        except FileNotFoundError:
+            raise StorageError(f"no stored object at {path!r}") from None

@@ -1,0 +1,259 @@
+"""The checkpoint-store layer: line/section/commit semantics over bytes.
+
+Historically the runtime spoke *path conventions* directly to a
+:class:`~repro.storage.stable.StorageBackend` — ``ckpt/v{n}/rank{r}/…``
+helpers in :mod:`repro.storage.manifest` scattered every section into its
+own object with one durability point each.  That convention is now one
+implementation of an explicit interface:
+
+* :class:`CheckpointStore` — owns the semantics every storage consumer
+  needs: stage a section, commit a line with its manifest, read/validate
+  sections, answer the global queries (``committed_map``,
+  ``last_committed_global``), and delete superseded lines.
+* :class:`ScatterStore` — the original per-file layout, kept for old
+  stores, the baselines, and as the differential oracle for the WAL.
+* :class:`~repro.storage.wal.WalStore` — the production engine: one
+  append-only log per simulated node, group commit with a single batched
+  fsync, recovery by replay, segment-based GC
+  (DESIGN.md §8).
+
+:func:`as_store` is the seam every layer normalizes through: protocol,
+checkpoint files, drain daemon, restart harness, and campaign all accept
+"a store or a bare backend" and meet here.  A bare backend whose
+namespace already holds WAL segments is opened as a
+:class:`~repro.storage.wal.WalStore` (replaying the log), so an operator
+pointing :func:`~repro.core.ccc.resume_from_manifest` at the stable
+storage of a failed WAL job restores without knowing which engine wrote
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from . import manifest as _manifest
+from .stable import StorageBackend, StorageError
+
+#: backend namespace prefix of the WAL engine's segments (used by layout
+#: auto-detection; see :func:`as_store` and :mod:`repro.storage.wal`)
+WAL_PREFIX = "wal/"
+
+
+class CheckpointStore:
+    """Line/section/commit semantics of one stable checkpoint store.
+
+    A *line* is one ``(version, rank)`` checkpoint: named section
+    payloads plus a commit record carrying the manifest (per-section
+    size and content digest).  A line is restart-eligible only once its
+    commit record is **durable**; implementations decide what durability
+    costs (one fsync per object for the scatter layout, one batched
+    fsync per node group for the WAL).
+    """
+
+    #: the byte store underneath (shared across ranks of a job)
+    backend: StorageBackend
+
+    # -- topology ----------------------------------------------------------
+    def configure(self, nprocs: int, procs_per_node: int = 1) -> None:
+        """Late-bind the job topology (rank→node mapping, group sizes).
+
+        Idempotent; called by every rank's protocol at startup.  The
+        scatter layout has no per-node structure, so the default is a
+        no-op.
+        """
+
+    # -- write path --------------------------------------------------------
+    def put_section(self, version: int, rank: int, section: str,
+                    payload: bytes) -> None:
+        raise NotImplementedError
+
+    def commit_line(self, version: int, rank: int,
+                    sections: Optional[Dict[str, Tuple[int, str]]] = None,
+                    ) -> None:
+        """Record the commit of one line (``sections`` is its manifest)."""
+        raise NotImplementedError
+
+    def delete_line(self, version: int, rank: int) -> None:
+        """Drop every trace of one line (GC; missing lines are a no-op)."""
+        raise NotImplementedError
+
+    # -- durability --------------------------------------------------------
+    def flush(self) -> None:
+        """Force every staged write durable (end-of-job, studies)."""
+
+    def flush_rank(self, rank: int) -> None:
+        """Force ``rank``'s node durable (its ``MPI_Finalize``)."""
+        self.flush()
+
+    def on_job_end(self, failed_rank: Optional[int] = None) -> None:
+        """Job-lifetime boundary, called once per engine run.
+
+        ``failed_rank`` is the fail-stop victim (None for a clean end).
+        A clean end flushes; a crash must apply the implementation's
+        loss semantics to the victim's node (the WAL discards/tears the
+        unsynced tail).  The scatter layout has no unsynced state.
+        """
+        if failed_rank is None:
+            self.flush()
+
+    # -- read path ---------------------------------------------------------
+    def read_section(self, version: int, rank: int, section: str) -> bytes:
+        raise NotImplementedError
+
+    def has_section(self, version: int, rank: int, section: str) -> bool:
+        raise NotImplementedError
+
+    def section_size(self, version: int, rank: int, section: str) -> int:
+        raise NotImplementedError
+
+    def line_manifest(self, version: int, rank: int) -> Optional[dict]:
+        """The committed line's manifest record (None if absent/legacy)."""
+        raise NotImplementedError
+
+    def validate_line(self, version: int, rank: int,
+                      deep: bool = False) -> bool:
+        """Is ``(version, rank)`` a committed, un-torn recovery line?"""
+        raise NotImplementedError
+
+    # -- global queries ----------------------------------------------------
+    def committed_map(self) -> Dict[int, List[int]]:
+        """rank -> ascending durably committed versions."""
+        raise NotImplementedError
+
+    def lines_on_storage(self) -> Dict[int, List[int]]:
+        """rank -> ascending versions with ANY stored object (sees torn
+        lines — the view garbage collectors and retention audits need)."""
+        raise NotImplementedError
+
+    def committed_versions(self, rank: int) -> List[int]:
+        return self.committed_map().get(rank, [])
+
+    def last_committed_local(self, rank: int, validate: bool = False,
+                             deep: bool = False) -> Optional[int]:
+        """The last (optionally validated) version ``rank`` committed."""
+        versions = self.committed_versions(rank)
+        if not validate:
+            return versions[-1] if versions else None
+        for v in reversed(versions):
+            if self.validate_line(v, rank, deep=deep):
+                return v
+        return None
+
+    def last_committed_global(self, nprocs: int,
+                              validate: bool = False) -> Optional[int]:
+        """Last version committed by *all* ranks (harness-side check)."""
+        cmap = self.committed_map()
+        candidate: Optional[int] = None
+        for rank in range(nprocs):
+            versions = cmap.get(rank)
+            if not versions:
+                return None
+            local: Optional[int] = None
+            if validate:
+                for v in reversed(versions):
+                    if self.validate_line(v, rank):
+                        local = v
+                        break
+            else:
+                local = versions[-1]
+            if local is None:
+                return None
+            candidate = local if candidate is None else min(candidate, local)
+        for rank in range(nprocs):
+            if candidate not in cmap.get(rank, []):
+                return None
+            if validate and not self.validate_line(candidate, rank):
+                return None
+        return candidate
+
+    def checkpoint_bytes(self, version: int, rank: int) -> int:
+        """Total payload bytes of one line (manifest-first, no payload
+        reads)."""
+        raise NotImplementedError
+
+    # -- accounting --------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Bytes the store currently occupies on its backend (live + any
+        not-yet-collected garbage) — the retention studies' metric."""
+        return self.backend.total_bytes()
+
+
+class ScatterStore(CheckpointStore):
+    """The per-file layout: every section its own backend object.
+
+    A thin stateful veneer over the :mod:`repro.storage.manifest` path
+    helpers — each section ``write`` is an atomic durable object (one
+    fsync each on disk), the COMMIT marker is one more, and GC deletes
+    the line's objects one by one.  Simple, legible on a filesystem, and
+    the baseline the WAL's group commit is measured against.
+    """
+
+    def __init__(self, backend: StorageBackend):
+        self.backend = backend
+
+    def put_section(self, version, rank, section, payload):
+        self.backend.write(_manifest.section_path(version, rank, section),
+                           payload)
+
+    def commit_line(self, version, rank, sections=None):
+        _manifest.record_commit(self.backend, version, rank,
+                                sections=sections)
+
+    def delete_line(self, version, rank):
+        for path in self.backend.list(_manifest.line_prefix(version, rank)):
+            try:
+                self.backend.delete(path)
+            except StorageError:
+                pass
+
+    def read_section(self, version, rank, section):
+        return self.backend.read(_manifest.section_path(version, rank, section))
+
+    def has_section(self, version, rank, section):
+        return self.backend.exists(
+            _manifest.section_path(version, rank, section))
+
+    def section_size(self, version, rank, section):
+        return self.backend.size(_manifest.section_path(version, rank, section))
+
+    def line_manifest(self, version, rank):
+        return _manifest.line_manifest(self.backend, version, rank)
+
+    def validate_line(self, version, rank, deep=False):
+        return _manifest.validate_line(self.backend, version, rank, deep=deep)
+
+    def committed_map(self):
+        return _manifest.committed_map(self.backend)
+
+    def lines_on_storage(self):
+        return _manifest.lines_on_storage(self.backend)
+
+    def checkpoint_bytes(self, version, rank):
+        return _manifest.checkpoint_bytes(self.backend, version, rank)
+
+
+def as_store(storage, procs_per_node: Optional[int] = None,
+             nprocs: Optional[int] = None) -> CheckpointStore:
+    """Normalize "a store or a bare backend" into a :class:`CheckpointStore`.
+
+    * a :class:`CheckpointStore` passes through (optionally configured);
+    * a :class:`StorageBackend` whose namespace holds WAL segments opens
+      as a :class:`~repro.storage.wal.WalStore` (replaying the log) —
+      restart tooling pointed at a bare backend restores either layout;
+    * any other backend wraps as a :class:`ScatterStore`.
+    """
+    if isinstance(storage, CheckpointStore):
+        store = storage
+    elif isinstance(storage, StorageBackend):
+        if storage.list(WAL_PREFIX):
+            from .wal import WalStore  # local import: wal imports store
+            store = WalStore(storage)
+        else:
+            store = ScatterStore(storage)
+    else:
+        raise TypeError(
+            f"expected a CheckpointStore or StorageBackend, got "
+            f"{type(storage).__name__}")
+    if nprocs is not None:
+        store.configure(nprocs, procs_per_node or 1)
+    return store

@@ -1,0 +1,163 @@
+"""Campaign slice over the WAL storage engine.
+
+The log-structured store's failure modes are storage-shaped, not
+protocol-shaped: a COMMIT record can be staged but unsynced when its
+rank dies (the group-commit window), and the failed node's page cache
+tears the last staged record (the torn-record window).  These scenarios
+drive both through the same golden/clean/kill/restart/verify pipeline
+the CLI and the ``wal-storage`` CI job run, on the in-memory and the
+real-file backend.
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.core import C3Config, run_fault_tolerant, run_original
+from repro.harness.campaign import (
+    APP_KERNELS, CAMPAIGN_PARAMS, WAL_STORAGES, Scenario, _measure_scenario,
+    build_matrix, run_campaign, smoke_matrix,
+)
+from repro.harness.runner import measure_recovery
+from repro.mpi import FaultPlan, FaultSpec
+from repro.mpi.timemodel import MACHINES
+from repro.storage import DiskStorage, InMemoryStorage, WalStore, as_store
+
+
+def _run_one(scenario: Scenario):
+    report = run_campaign([scenario], parallel=False)
+    assert len(report.rows) == 1
+    return report.rows[0]
+
+
+# ---------------------------------------------------------------------------
+# Matrix construction
+# ---------------------------------------------------------------------------
+
+def test_wal_only_timings_skip_scatter_storage():
+    for storage in ("memory", "disk"):
+        assert build_matrix(["heat"], ["testing"],
+                            ["mid_group_commit", "torn_record"],
+                            storage=storage) == []
+    for storage in sorted(WAL_STORAGES):
+        scenarios = build_matrix(["heat"], ["testing"],
+                                 ["mid_group_commit", "torn_record"],
+                                 storage=storage)
+        assert {s.kill for s in scenarios} == {"mid_group_commit",
+                                               "torn_record"}
+        assert all(s.label.endswith(f"@{storage}") for s in scenarios)
+
+
+def test_wal_smoke_rotation_includes_group_commit_windows():
+    kills = {s.kill for s in smoke_matrix(storage="wal")}
+    assert {"mid_group_commit", "torn_record"} <= kills
+    assert {s.app for s in smoke_matrix(storage="wal")} == set(APP_KERNELS)
+    # the scatter rotation stays as it was
+    assert "torn_record" not in {s.kill for s in smoke_matrix()}
+
+
+# ---------------------------------------------------------------------------
+# The group-commit kill windows, end to end
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kill", ["mid_group_commit", "torn_record"])
+@pytest.mark.parametrize("app", ["heat", "CG"])
+def test_group_commit_windows_recover_exactly(app, kill):
+    [scenario] = build_matrix([app], ["testing"], [kill], storage="wal")
+    row = _run_one(scenario)
+    assert row["passed"], row["failure"]
+    assert row["fired"], "the group-commit kill must actually fire"
+    assert any("group commit" in f for f in row["fired"])
+    assert row["restarts"] >= 1
+    assert row["verified_recovery"] and row["verified_clean"]
+    # segment GC on the restarted store: steady state holds <= 2 lines
+    assert row["lines_retained"] <= 2
+
+
+@pytest.mark.parametrize("kill", ["mid_group_commit", "torn_record",
+                                  "mid_run"])
+def test_wal_disk_scenario_verifies(kill, tmp_path, monkeypatch):
+    monkeypatch.setenv("TMPDIR", str(tmp_path))
+    [scenario] = build_matrix(["heat"], ["testing"], [kill],
+                              storage="wal-disk")
+    assert scenario.label.endswith("@wal-disk")
+    row = _measure_scenario(scenario)
+    assert row.get("error") is None
+    assert row["verified_clean"] and row["verified_recovery"]
+    assert row["fired"]
+    assert row["restarts"] >= 1
+
+
+def test_wal_campaign_slice_through_harness():
+    scenarios = build_matrix(["ring", "EP"], ["testing"],
+                             ["mid_group_commit", "epoch_boundary"],
+                             storage="wal")
+    report = run_campaign(scenarios, parallel=False)
+    assert report.ok, report.summary()["failed"]
+    assert len(report.rows) == 4
+
+
+def test_kill_at_deeper_group_commit():
+    """Line 2's group commit (line 1 durable underneath) — the campaign
+    timing uses line 1; this pins the restore-then-fall-back case."""
+    row = _run_one(Scenario(
+        app="heat", platform="testing", kill="mid_group_commit",
+        params=CAMPAIGN_PARAMS["heat"],
+        kills=({"rank": 1, "at_group_commit": 2},),
+        interval_frac=0.15, storage="wal"))
+    assert row["passed"], row["failure"]
+    assert row["restarts"] >= 1
+    # line 1 had committed durably before the kill, so the restart
+    # restored it rather than starting over
+    assert row["restore_seconds"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Fallback semantics: the torn group commit loses exactly the torn line
+# ---------------------------------------------------------------------------
+
+def test_torn_group_commit_falls_back_to_prior_line():
+    """Kill inside line 2's group commit and pin where recovery lands:
+    the staged line-2 tail is torn away, line 1 restores bitwise."""
+    app = APPS["heat"]
+    params = CAMPAIGN_PARAMS["heat"]
+
+    def wrapped(ctx):
+        return app(ctx, **params)
+
+    golden = run_original(wrapped, 4)
+    golden.raise_errors()
+    store = WalStore(InMemoryStorage())
+    res = run_fault_tolerant(
+        wrapped, 4, storage=store,
+        config=C3Config(checkpoint_interval=golden.virtual_time * 0.15),
+        fault_plan=FaultPlan([FaultSpec(rank=2, at_group_commit=2)]),
+        wall_timeout=120)
+    assert res.returns == golden.returns
+    assert res.restarts == 1
+    # the torn tail was truncated at replay and re-execution recommitted
+    # past it; the store's replay counter proves the recovery path ran
+    assert store.replays >= 1
+    assert store.last_committed_global(4, validate=True) >= 2
+
+
+def test_wal_disk_recovery_gc_leaves_live_lines_replayable(tmp_path):
+    """After a kill/restart on real files, the WAL holds <= 2 lines per
+    rank and a cold reopen replays to a committed, validated index."""
+    roots = iter(range(1000))
+
+    def factory():
+        return WalStore(DiskStorage(str(tmp_path / f"wal{next(roots)}")))
+
+    record = measure_recovery(
+        "heat", 4, MACHINES["testing"],
+        dict(local_n=16, niter=10), [{"rank": 1, "frac": 0.55}],
+        storage_factory=factory)
+    assert record["verified"]
+    assert record["checkpoints_committed"] >= 2
+    assert record["lines_retained"] <= 2
+    # the faulty-run store is the second one the factory produced;
+    # reopen its backend cold — as an operator would — and replay
+    reopened = as_store(DiskStorage(str(tmp_path / "wal1")), nprocs=4)
+    assert isinstance(reopened, WalStore)
+    assert (reopened.last_committed_global(4, validate=True)
+            == record["checkpoints_committed"])
