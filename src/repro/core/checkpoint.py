@@ -50,6 +50,7 @@ import numpy as np
 
 from ..mpi.matching import ANY_SOURCE, ANY_TAG
 from ..mpi.ops import MIN
+from .. import coverage
 from ..statesave.checkpointfile import CheckpointReader, CheckpointWriter
 from .modes import Mode, ProtocolError
 from .registries import EarlyMessageRegistry, EventLog, LateMessageRegistry
@@ -196,6 +197,46 @@ def commit_checkpoint(p: "C3Protocol") -> None:
     p._durable_commit(writer, p.mpi.Wtime())
 
 
+def _line_usable(p: "C3Protocol", version: int) -> bool:
+    """Can this rank actually restore from line ``version``?
+
+    Deep-validates the line itself (manifest sizes + payload digests)
+    and, under incremental checkpointing, walks the record chain to the
+    last full save deep-validating every ancestor line on the way — an
+    ancestor is a separate line with its own marker that the candidate's
+    manifest does not cover, so bit-rot or GC damage there must reject
+    the candidate *before* restore starts mutating protocol state.
+    """
+    if not p.store.validate_line(version, p.rank, deep=True):
+        return False
+    v = version
+    while True:
+        try:
+            snap = CheckpointReader(p.store, v, p.rank).load("app")
+        except Exception:   # torn, missing, or undeserializable section
+            return False
+        rec = snap.get("incremental") if isinstance(snap, dict) else None
+        if rec is None or rec.get("full"):
+            return True
+        v -= 1
+        if v < 1:
+            return False   # chain has no full save on stable storage
+        if not p.store.validate_line(v, p.rank, deep=True):
+            return False
+
+
+def _best_usable_line(p: "C3Protocol", ceiling: int):
+    """This rank's newest committed line ``<= ceiling`` that
+    :func:`_line_usable` accepts, or None."""
+    versions = p.store.committed_map().get(p.rank, [])
+    for v in reversed(versions):
+        if v > ceiling:
+            continue
+        if _line_usable(p, v):
+            return v
+    return None
+
+
 def restore_checkpoint(p: "C3Protocol") -> bool:
     """Figure 5, ``chkpt_RestoreCheckpoint``.
 
@@ -212,13 +253,40 @@ def restore_checkpoint(p: "C3Protocol") -> bool:
     # or digest-mismatched section (a crash mid-drain or mid-commit) —
     # falling back to the previous committed line instead of restoring
     # garbage.
-    local = p.store.last_committed_local(p.rank, validate=True, deep=True)
-    mine = np.array([local if local is not None else -1], dtype=np.int64)
+    newest = p.store.last_committed_local(p.rank)
+    # Version agreement with per-rank re-validation.  A rank deep-proves
+    # only its own candidate; the agreed minimum may be an *older* line
+    # this rank never checked (a peer fell back further), and bit-rot in
+    # that line — or in an unvalidated ancestor of its incremental chain
+    # — must reject the line collectively, not crash the restore.  Every
+    # iteration lowers the ceiling, so the loop terminates at cold
+    # restart in the worst case.  (Found by the fault fuzzer: bit-rot in
+    # a fallen-back-to line used to escape as a raw CheckpointError.)
+    ceiling: int = 1 << 62
+    mine = np.empty(1, dtype=np.int64)
     everyone = np.empty(1, dtype=np.int64)
-    p.control.comm.Allreduce(mine, everyone, MIN)
-    version = int(everyone[0])
-    if version <= 0:
-        return False
+    while True:
+        local = _best_usable_line(p, ceiling)
+        if newest is not None and newest != local:
+            # the newest marker-bearing line failed deep validation —
+            # torn sections or bit-rot — and recovery fell back past it
+            p.stats.restore_fallbacks += 1
+            coverage.hit("path:restore_fallback")
+            newest = local  # count each fallback once
+        mine[0] = local if local is not None else -1
+        p.control.comm.Allreduce(mine, everyone, MIN)
+        version = int(everyone[0])
+        if version <= 0:
+            coverage.hit("path:cold_restart")
+            return False
+        # every rank vets the *agreed* line (its own copy of it)
+        mine[0] = 1 if (version == local
+                        or _line_usable(p, version)) else 0
+        p.control.comm.Allreduce(mine, everyone, MIN)
+        if int(everyone[0]):
+            break
+        ceiling = version - 1
+    coverage.hit("path:restore")
     reader = CheckpointReader(p.store, version, p.rank)
     # Restore basic MPI state and sanity-check the world geometry.
     mpi_state = reader.load("mpi_state")

@@ -65,7 +65,8 @@ from ..mpi.datatypes import Datatype, from_numpy_dtype
 from ..mpi.matching import ANY_SOURCE, ANY_TAG
 from ..mpi.status import Status
 from ..statesave.context import Context
-from ..storage.stable import StorageBackend
+from .. import coverage
+from ..storage.stable import StorageBackend, StorageError
 from ..storage.store import as_store
 from .commtable import CommEntry, CommTable
 from .control import ControlPlane
@@ -170,6 +171,13 @@ class C3Stats:
     overlapped_commits: int = 0
     #: superseded recovery lines deleted by garbage collection
     gc_deleted_lines: int = 0
+    #: lines whose storage commit failed (e.g. disk full) and were
+    #: abandoned — the protocol carries on and recovery falls back to
+    #: the previous committed line
+    checkpoints_abandoned: int = 0
+    #: restores where this rank's newest committed line failed deep
+    #: validation (torn/corrupt) and an older line was used instead
+    restore_fallbacks: int = 0
     #: virtual time spent inside restore_checkpoint
     restore_seconds: float = 0.0
     collectives_native: int = 0
@@ -290,8 +298,27 @@ class C3Protocol:
             self._durable_commit(writer, durable_at)
 
     def _durable_commit(self, writer, durable_at: float) -> None:
-        """Make one line restart-eligible: marker, stats, GC."""
-        writer.commit()
+        """Make one line restart-eligible: marker, stats, GC.
+
+        A storage failure here (disk full, an injected fault) abandons
+        the *line*, not the job: the marker is never written, partial
+        sections are deleted best-effort, and recovery keeps falling
+        back to the previous committed line.  The protocol state is
+        already consistent — peers commit their own copies
+        independently, and the global restore floor is a min reduction.
+        """
+        try:
+            writer.commit()
+        except StorageError:
+            self.stats.checkpoints_abandoned += 1
+            coverage.hit("path:ckpt_abandoned")
+            if not writer.dry_run:
+                try:
+                    self.store.delete_line(writer.version, self.rank)
+                except StorageError:
+                    pass
+            return
+        coverage.hit("path:commit")
         self.stats.checkpoints_committed += 1
         self.stats.last_committed_bytes = writer.bytes_written
         self.stats.last_commit_time = durable_at
@@ -328,6 +355,7 @@ class C3Protocol:
             version = self._my_lines.pop(0)
             self.store.delete_line(version, self.rank)
             self.stats.gc_deleted_lines += 1
+            coverage.hit("path:gc")
 
     # ------------------------------------------------------- piggyback encoding
     def _piggyback(self) -> WirePiggyback:
@@ -413,6 +441,7 @@ class C3Protocol:
                 # counters include it (see module docstring).
                 self.counters.on_send(dest_world)
                 self.stats.suppressed_sends += 1
+                coverage.hit("path:suppressed_send")
                 self._maybe_finish_restore()
                 return
         raw.send_packed(payload, dest, tag, count=count, type_name=type_name,
@@ -462,6 +491,7 @@ class C3Protocol:
                 entry.log_payload = m.payload
                 entry.source, entry.tag = m.source, m.tag
                 self.stats.replayed_from_log += 1
+                coverage.hit("path:log_replay")
                 self._maybe_finish_restore()
                 return
             if m is not None and m.kind == WILDCARD:
@@ -549,6 +579,7 @@ class C3Protocol:
         source_world = raw.group.translate(env.source)
         if kind == LATE:
             self.counters.on_late_received(source_world)
+            coverage.hit("msg:late")
             if self.modes.is_logging_late:
                 self.late_reg.record_late(
                     env.source, env.tag, env.context_id, env.payload,
@@ -563,6 +594,7 @@ class C3Protocol:
             self._maybe_commit()
         elif kind == INTRA:
             self.counters.on_intra_received(source_world)
+            coverage.hit("msg:intra")
             if self.modes.mode is Mode.NONDET_LOG:
                 if pb.stopped_logging:
                     # Causality: the sender stopped logging, so events after
@@ -574,8 +606,10 @@ class C3Protocol:
                         env.source, env.tag, env.context_id,
                         rid=entry.rid if entry else None)
                     self.stats.wildcard_logged += 1
+                    coverage.hit("msg:wildcard")
         else:  # EARLY
             self.counters.on_early_received(source_world)
+            coverage.hit("msg:early")
             self.early_reg.record(source_world, env.tag, env.context_id)
             self.stats.early_recorded += 1
             if self.modes.mode is Mode.NONDET_LOG:
@@ -752,7 +786,14 @@ class C3Protocol:
             self._poll_drains(flush=True)
         # Group-commit stores may still hold this rank's trailing commits
         # staged; a clean MPI_Finalize forces the node's batch down.
-        self.store.flush_rank(self.rank)
+        try:
+            self.store.flush_rank(self.rank)
+        except StorageError:
+            # Disk full at the final drain: the staged batch is abandoned
+            # (the store has already un-indexed it); the durable prefix
+            # still recovers and the job itself finishes.
+            self.stats.checkpoints_abandoned += 1
+            coverage.hit("path:ckpt_abandoned")
 
     def pragma(self, force: bool = False) -> None:
         """``#pragma ccc checkpoint``."""

@@ -274,10 +274,8 @@ class RankContext:
         if spec is None:
             return
         self._due_fault = None
-        fired = self.engine.fault_plan.fired
-        if spec in fired:
+        if not self.engine.fault_plan.mark_fired(spec):
             return
-        fired.append(spec)
         raise ProcessFailure(self.rank, self.clock.now, spec.reason)
 
     # -- envelope transmission ----------------------------------------------
@@ -398,9 +396,8 @@ class Engine:
         """Attach a scheduler for unfired ``at_time`` specs to every clock."""
         time_specs = [
             spec
-            for specs in self.fault_plan.specs.values()
-            for spec in specs
-            if spec.at_time is not None and spec not in self.fault_plan.fired
+            for spec in self.fault_plan.unfired()
+            if spec.at_time is not None
         ]
         if not time_specs:
             self.fault_scheduler = None

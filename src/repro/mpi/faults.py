@@ -35,10 +35,16 @@ converges.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import ProcessFailure
+
+#: trigger fields of :class:`FaultSpec`, in priority order for
+#: :meth:`FaultSpec.kind` — also the schema of the JSON schedule codec
+TRIGGER_FIELDS = ("after_ops", "at_time", "probability", "at_epoch",
+                  "in_collective", "in_drain", "at_commit",
+                  "at_group_commit")
 
 
 @dataclass
@@ -72,6 +78,10 @@ class FaultSpec:
     #: back (WAL stores only; scatter stores never report this window)
     at_group_commit: Optional[int] = None
     reason: str = "injected fail-stop fault"
+
+    #: identity-based fired flag (not a dataclass field: two equal specs
+    #: in one plan fire independently, and equality stays trigger-only)
+    _fired = False
 
     def __post_init__(self) -> None:
         if (self.after_ops is None and self.at_time is None
@@ -112,6 +122,45 @@ class FaultSpec:
             parts.append(f"at group commit of line {self.at_group_commit}")
         return f"rank {self.rank}: " + ", ".join(parts)
 
+    def kind(self) -> str:
+        """Name of the spec's primary trigger (its fault-window class)."""
+        for name in TRIGGER_FIELDS:
+            value = getattr(self, name)
+            if name == "probability":
+                if value > 0:
+                    return name
+            elif value is not None:
+                return name
+        raise ValueError("FaultSpec has no trigger")  # unreachable
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form: only the rank and the set triggers.
+
+        The codec round-trips exactly — ``FaultSpec.from_dict(s.to_dict())
+        == s`` — so fuzz schedules and corpus repros can carry specs as
+        plain JSON objects.
+        """
+        out: Dict[str, Any] = {"rank": self.rank}
+        for name in TRIGGER_FIELDS:
+            value = getattr(self, name)
+            if name == "probability":
+                if value > 0:
+                    out[name] = value
+            elif value is not None:
+                out[name] = value
+        if self.reason != "injected fail-stop fault":
+            out["reason"] = self.reason
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        allowed = {f.name for f in fields(cls)}
+        bad = sorted(set(data) - allowed)
+        if bad:
+            raise ValueError(f"unknown FaultSpec fields: {bad}")
+        return cls(**data)
+
 
 class FaultPlan:
     """A set of fault specs plus the seeded RNG for probabilistic faults."""
@@ -147,16 +196,36 @@ class FaultPlan:
             yield from specs
 
     def unfired(self) -> List[FaultSpec]:
-        return [s for s in self.all_specs() if s not in self.fired]
+        return [s for s in self.all_specs() if not s._fired]
+
+    def rearm(self) -> None:
+        """Forget firing history: every spec becomes eligible again."""
+        for spec in self.all_specs():
+            spec._fired = False
+        self.fired.clear()
+
+    def mark_fired(self, spec: FaultSpec) -> bool:
+        """Record that ``spec`` fired; False if it had already fired.
+
+        Firing is tracked per spec *instance* (not by value), so a plan
+        holding two identical specs fires each exactly once — e.g. two
+        kills of the same rank at the same epoch hit the original run and
+        the restarted run.
+        """
+        if spec._fired:
+            return False
+        spec._fired = True
+        self.fired.append(spec)
+        return True
 
     def _fire(self, spec: FaultSpec, rank: int, now: float) -> None:
-        self.fired.append(spec)
+        self.mark_fired(spec)
         raise ProcessFailure(rank, now, spec.reason)
 
     def check(self, rank: int, op_count: int, now: float) -> None:
         """Raise :class:`ProcessFailure` if a per-operation spec fires."""
         for spec in self.specs.get(rank, ()):
-            if spec in self.fired:
+            if spec._fired:
                 continue
             hit = False
             if spec.after_ops is not None and op_count >= spec.after_ops:
@@ -172,7 +241,7 @@ class FaultPlan:
         """Epoch-boundary check point, called by ``chkpt_StartCheckpoint``
         (on the advancing rank's own thread) right after the epoch moves."""
         for spec in self.specs.get(rank, ()):
-            if spec in self.fired or spec.at_epoch is None:
+            if spec._fired or spec.at_epoch is None:
                 continue
             if epoch >= spec.at_epoch:
                 self._fire(spec, rank, now)
@@ -183,7 +252,7 @@ class FaultPlan:
         at each internal message of the rank's ``collective_index``-th
         collective (1-based)."""
         for spec in self.specs.get(rank, ()):
-            if spec in self.fired or spec.in_collective is None:
+            if spec._fired or spec.in_collective is None:
                 continue
             if collective_index >= spec.in_collective:
                 self._fire(spec, rank, now)
@@ -192,7 +261,7 @@ class FaultPlan:
         """Mid-drain check point, called by the C3 layer while recovery
         line ``version`` is staged but not yet durable on the node disk."""
         for spec in self.specs.get(rank, ()):
-            if spec in self.fired or spec.in_drain is None:
+            if spec._fired or spec.in_drain is None:
                 continue
             if version >= spec.in_drain:
                 self._fire(spec, rank, now)
@@ -201,7 +270,7 @@ class FaultPlan:
         """Commit-instant check point, called by the C3 layer right before
         line ``version``'s COMMIT marker is written."""
         for spec in self.specs.get(rank, ()):
-            if spec in self.fired or spec.at_commit is None:
+            if spec._fired or spec.at_commit is None:
                 continue
             if version >= spec.at_commit:
                 self._fire(spec, rank, now)
@@ -211,7 +280,7 @@ class FaultPlan:
         the rank's COMMIT record for line ``version`` is staged in the
         node's log buffer and before the batched-fsync decision."""
         for spec in self.specs.get(rank, ()):
-            if spec in self.fired or spec.at_group_commit is None:
+            if spec._fired or spec.at_group_commit is None:
                 continue
             if version >= spec.at_group_commit:
                 self._fire(spec, rank, now)

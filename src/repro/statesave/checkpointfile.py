@@ -49,19 +49,37 @@ class CheckpointWriter:
         self._serializer = Serializer(portable=portable)
         self._written: Dict[str, Tuple[int, str]] = {}
         self.committed = False
+        #: a section write hit a storage error (disk full, injected
+        #: fault): the line can never commit — :meth:`commit` raises and
+        #: the protocol abandons it, falling back to the previous line
+        self.failed = False
 
     def save(self, section: str, value: Any) -> int:
-        """Serialize and store one section; returns its size in bytes."""
+        """Serialize and store one section; returns its size in bytes.
+
+        A :class:`StorageError` from the backend marks the writer failed
+        instead of propagating: state saving happens mid-protocol (the
+        epoch has advanced, peers were announced), so the job must carry
+        on — only this rank's copy of the line is lost, and the commit
+        step turns that into a clean abandonment.
+        """
         if self.committed:
             raise CheckpointError("checkpoint already committed")
         if section in self._written:
             raise CheckpointError(f"section {section!r} already written")
         payload = self._serializer.dumps(value)
-        if self.dry_run:
+        if self.dry_run or self.failed:
             self._written[section] = (len(payload), "")
         else:
-            self.store.put_section(self.version, self.rank, section, payload)
-            self._written[section] = (len(payload), section_digest(payload))
+            try:
+                self.store.put_section(self.version, self.rank, section,
+                                       payload)
+            except StorageError:
+                self.failed = True
+                self._written[section] = (len(payload), "")
+            else:
+                self._written[section] = (len(payload),
+                                          section_digest(payload))
         return len(payload)
 
     @property
@@ -83,6 +101,10 @@ class CheckpointWriter:
         """Write the commit marker; the checkpoint becomes restart-eligible."""
         if self.committed:
             raise CheckpointError("checkpoint already committed")
+        if self.failed:
+            raise StorageError(
+                f"checkpoint v{self.version} rank {self.rank} abandoned: "
+                "a section write failed")
         if not self.dry_run:
             self.store.commit_line(self.version, self.rank,
                                    sections=self._written)

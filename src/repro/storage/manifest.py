@@ -84,21 +84,41 @@ def record_commit(storage: StorageBackend, version: int, rank: int,
 
 
 def parse_commit_record(data: bytes) -> Optional[dict]:
-    """The manifest carried by a COMMIT marker, or None for legacy markers."""
+    """The manifest carried by a COMMIT marker, or None for legacy markers.
+
+    A marker that is neither the legacy token nor a well-formed manifest
+    — a torn write or bit-rot caught mid-marker — raises
+    :class:`StorageError`: the *line* is bad, not the program.  (Found
+    by the fault fuzzer: a torn COMMIT marker used to escape as a raw
+    ``IndexError``/``ValueError`` from the deserializer, crashing every
+    recovery query instead of failing validation.)
+    """
     if data == LEGACY_MARKER:
         return None
     from ..statesave import serializer
-    return serializer.loads(data)
+    try:
+        record = serializer.loads(data)
+    except Exception as exc:
+        raise StorageError(f"corrupt COMMIT marker: {exc}") from None
+    if not isinstance(record, dict) or "sections" not in record:
+        raise StorageError("corrupt COMMIT marker: not a manifest")
+    return record
 
 
 def line_manifest(storage: StorageBackend, version: int, rank: int,
                   ) -> Optional[dict]:
-    """Read and parse one line's COMMIT manifest (None if legacy/absent)."""
+    """Read and parse one line's COMMIT manifest (None if legacy/absent).
+
+    A corrupt marker also reads as None: callers of this accessor want
+    "the manifest, if one is usable" — rejecting the line outright is
+    :func:`validate_line`'s job, and the restore path deep-validates
+    before it ever builds a reader on the line.
+    """
     try:
         data = storage.read(commit_path(version, rank))
+        return parse_commit_record(data)
     except StorageError:
         return None
-    return parse_commit_record(data)
 
 
 def validate_line(storage: StorageBackend, version: int, rank: int,
@@ -112,11 +132,12 @@ def validate_line(storage: StorageBackend, version: int, rank: int,
     which is what the restore path uses on its candidate line.
     Legacy (manifest-less) markers validate vacuously.
     """
+    from .. import coverage
     try:
         marker = storage.read(commit_path(version, rank))
+        record = parse_commit_record(marker)
     except StorageError:
         return False
-    record = parse_commit_record(marker)
     if record is None:
         return True
     if record.get("version") != version or record.get("rank") != rank:
@@ -127,6 +148,7 @@ def validate_line(storage: StorageBackend, version: int, rank: int,
             if storage.size(path) != nbytes:
                 return False
             if deep and section_digest(storage.read(path)) != digest:
+                coverage.hit("path:digest_rejected")
                 return False
         except StorageError:
             return False

@@ -118,6 +118,9 @@ class InMemoryStorage(StorageBackend):
         #: durability points the disk backend would have paid (one per
         #: atomic write, one per explicit sync) — see the module docstring
         self.fsync_count = 0
+        #: payload reads (``read`` + ``read_range``) — lets the fuzzer's
+        #: coverage see validation/replay passes on either backend
+        self.read_count = 0
 
     def write(self, path: str, data: bytes) -> None:
         path = normalize_path(path)
@@ -131,9 +134,11 @@ class InMemoryStorage(StorageBackend):
         path = normalize_path(path)
         with self._lock:
             try:
-                return self._data[path]
+                payload = self._data[path]
             except KeyError:
                 raise StorageError(f"no stored object at {path!r}") from None
+            self.read_count += 1
+            return payload
 
     def exists(self, path: str) -> bool:
         path = normalize_path(path)
@@ -177,9 +182,11 @@ class InMemoryStorage(StorageBackend):
         path = normalize_path(path)
         with self._lock:
             try:
-                return self._data[path][offset:offset + nbytes]
+                payload = self._data[path][offset:offset + nbytes]
             except KeyError:
                 raise StorageError(f"no stored object at {path!r}") from None
+            self.read_count += 1
+            return payload
 
 
 class DiskStorage(StorageBackend):
@@ -205,6 +212,7 @@ class DiskStorage(StorageBackend):
         self.write_count = 0
         self.written_bytes = 0
         self.fsync_count = 0
+        self.read_count = 0
 
     def _fs_path(self, path: str) -> str:
         return os.path.join(self.root, normalize_path(path).replace("/", os.sep))
@@ -234,9 +242,11 @@ class DiskStorage(StorageBackend):
         fs = self._fs_path(path)
         try:
             with open(fs, "rb") as f:
-                return f.read()
+                payload = f.read()
         except FileNotFoundError:
             raise StorageError(f"no stored object at {path!r}") from None
+        self.read_count += 1
+        return payload
 
     def exists(self, path: str) -> bool:
         return os.path.isfile(self._fs_path(path))
@@ -302,6 +312,8 @@ class DiskStorage(StorageBackend):
         try:
             with open(fs, "rb") as f:
                 f.seek(offset)
-                return f.read(nbytes)
+                payload = f.read(nbytes)
         except FileNotFoundError:
             raise StorageError(f"no stored object at {path!r}") from None
+        self.read_count += 1
+        return payload

@@ -41,6 +41,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from .. import coverage
 from .manifest import LEGACY_MARKER, section_digest
 from .stable import StorageBackend, StorageError
 from .store import CheckpointStore, WAL_PREFIX
@@ -166,6 +167,7 @@ class WalStore(CheckpointStore):
         self.segments_compacted = 0
         self.replays = 0
         self.replay_truncated_bytes = 0
+        self.flush_failures = 0
         self._reset_state()
         if backend.list(WAL_PREFIX):
             self._replay()
@@ -328,12 +330,37 @@ class WalStore(CheckpointStore):
         if ns is None:
             return
         if ns.buf:
-            self.backend.append(ns.seg, bytes(ns.buf))
-            self.backend.sync(ns.seg)
+            try:
+                self.backend.append(ns.seg, bytes(ns.buf))
+            except StorageError:
+                # The staged tail never reached the medium (disk full,
+                # ...) and retrying would re-append a batch whose commit
+                # acknowledgments are gone: drop it and un-index its
+                # records.  The affected lines simply never committed —
+                # recovery falls back to the last durable line, exactly
+                # as after a crash at this instant.  (Found by the fault
+                # fuzzer: an injected ENOSPC here used to escape as a raw
+                # StorageError and crash the job instead of abandoning
+                # the batch.)
+                self.flush_failures += 1
+                coverage.hit("path:wal_flush_failed")
+                self._drop_staged(ns)
+                raise
             ns.base += len(ns.buf)
             ns.buf.clear()
+            try:
+                self.backend.sync(ns.seg)
+            except StorageError:
+                # Appended but not provably durable: keep the index (the
+                # bytes are physically there and replay would see them)
+                # and leave the pending commits staged — the next
+                # successful flush's sync covers them.
+                self.flush_failures += 1
+                coverage.hit("path:wal_flush_failed")
+                raise
         if ns.pending:
             self.group_commits += 1
+            coverage.hit("path:group_commit")
             for commit in ns.pending:
                 commit.durable = True
             ns.pending.clear()
@@ -345,6 +372,44 @@ class WalStore(CheckpointStore):
             ns.seg = segment_path(node, ns.seq)
             ns.base = 0
         self._retire_node(node)
+
+    def _drop_staged(self, ns: _Node) -> None:
+        """Un-index every record of ``ns``'s staged (unflushed) tail.
+
+        Called when a group-commit flush fails: the buffered records will
+        never be durable, so sections and commits that live only in the
+        buffer are removed from the index and the pending commit batch is
+        abandoned.  Deliberately conservative — a record that re-pointed
+        the index away from a still-physical source copy (compaction) is
+        forgotten too, so the in-memory view may under-report what a
+        crash replay would reconstruct; recovering from an older line is
+        always safe.
+        """
+        seg = self._segments.get(ns.seg)
+        if seg is not None:
+            kept = []
+            for rec in seg.records:
+                if rec.off < ns.base:
+                    kept.append(rec)
+                    continue
+                seg.total -= rec.length
+                if rec.live:
+                    seg.live -= rec.length
+                key = (rec.version, rec.rank)
+                if rec.rtype == SECTION:
+                    sections = self._sections.get(key)
+                    if (sections is not None
+                            and sections.get(rec.name, (None, None))[1]
+                            is rec):
+                        del sections[rec.name]
+                        if not sections:
+                            del self._sections[key]
+                elif rec.rtype == COMMIT:
+                    commit = self._commits.get(key)
+                    if commit is not None and commit.rec is rec:
+                        del self._commits[key]
+        ns.pending.clear()
+        ns.buf.clear()
 
     def flush(self) -> None:
         with self._lock:
@@ -378,6 +443,7 @@ class WalStore(CheckpointStore):
             pass
         del self._segments[segname]
         self.segments_retired += 1
+        coverage.hit("path:wal_retired")
         for rec in seg.records:
             if rec.rtype == DELETE:
                 continue
@@ -395,6 +461,7 @@ class WalStore(CheckpointStore):
 
     def _compact_segment(self, segname: str, seg: _Seg, ns: _Node) -> None:
         self.segments_compacted += 1
+        coverage.hit("path:wal_compacted")
         for rec in list(seg.records):
             if not rec.live:
                 continue
@@ -424,19 +491,29 @@ class WalStore(CheckpointStore):
     def on_job_end(self, failed_rank: Optional[int] = None) -> None:
         with self._lock:
             if failed_rank is None:
-                self.flush()
+                try:
+                    self.flush()
+                except StorageError:
+                    pass  # staged tail abandoned (disk full at final drain)
                 return
             failed_node = self.node_of(failed_rank)
             for node in list(self._nodes):
                 # Surviving nodes did not crash — their page caches drain
                 # normally even though the job's processes are gone.
                 if node != failed_node:
-                    self._flush_node(node)
+                    try:
+                        self._flush_node(node)
+                    except StorageError:
+                        pass  # that node's staged tail is abandoned
             ns = self._nodes.get(failed_node)
             if ns is not None and ns.buf:
                 torn = self._torn_prefix(ns)
                 if torn:
-                    self.backend.append(ns.seg, torn)
+                    try:
+                        self.backend.append(ns.seg, torn)
+                        coverage.hit("path:wal_torn_tail")
+                    except StorageError:
+                        pass  # the torn tail is lost whole: clean truncation
             self._replay()
 
     def _torn_prefix(self, ns: _Node) -> bytes:
@@ -494,9 +571,13 @@ class WalStore(CheckpointStore):
                 # Torn/corrupt tail: physically truncate to the valid
                 # prefix so later appends never land after garbage.
                 self.replay_truncated_bytes += len(data) - off
+                coverage.hit("path:wal_truncated")
                 data = data[:off]
                 if data:
-                    self.backend.write(path, data)
+                    try:
+                        self.backend.write(path, data)
+                    except StorageError:
+                        pass  # best-effort: a later replay re-truncates
                 else:
                     try:
                         self.backend.delete(path)
@@ -582,6 +663,7 @@ class WalStore(CheckpointStore):
                     return False
                 if deep and section_digest(
                         self._read_rec(*entry)) != str(digest):
+                    coverage.hit("path:digest_rejected")
                     return False
             return True
 
@@ -629,4 +711,5 @@ class WalStore(CheckpointStore):
                 "segments_compacted": self.segments_compacted,
                 "replays": self.replays,
                 "replay_truncated_bytes": self.replay_truncated_bytes,
+                "flush_failures": self.flush_failures,
             }

@@ -1,0 +1,60 @@
+"""Regression-corpus replayer.
+
+Every JSON under ``tests/fuzz/corpus/`` is one pinned fuzz schedule —
+the smoke seed set (one per campaign kill-timing class and one per
+storage-fault class) plus a minimized repro for every bug the fuzzer has
+found.  Each entry replays deterministically through the full
+kill/restart/verify pipeline and must reproduce its pinned verdict
+forever; dropping a file from the corpus is the only way to retire a
+repro.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.harness.fuzz import load_schedule, run_schedule
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+#: golden runs shared across entries (same app/platform/nprocs/params)
+_CACHE: dict = {}
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS) >= 14, (
+        "the pinned corpus must at least cover every campaign kill-timing "
+        "class and every storage-fault class")
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p)[:-5] for p in CORPUS])
+def test_corpus_entry_replays(path):
+    with open(path) as f:
+        entry = json.load(f)
+    sched = load_schedule(path)
+    record = run_schedule(sched, _CACHE)
+    assert record["verdict"] == entry["expect"], (
+        f"{os.path.basename(path)}: expected {entry['expect']!r}, got "
+        f"{record['verdict']!r} ({record['failure']})\n"
+        f"note: {entry.get('note', '')}")
+    if record["verdict"] == "pass":
+        assert record["verified"]
+
+
+def test_corpus_schedules_declare_current_format():
+    for path in CORPUS:
+        with open(path) as f:
+            entry = json.load(f)
+        assert entry["schedule"]["format"] == 1
+        # the file name pins the content digest; a drive-by edit that
+        # changes the schedule without renaming the file is an error
+        digest = load_schedule(path).digest()
+        assert digest in os.path.basename(path), (
+            f"{os.path.basename(path)} content digest {digest} does not "
+            "match its file name; regenerate the entry")

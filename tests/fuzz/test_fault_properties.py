@@ -1,0 +1,166 @@
+"""Property-based tests for the fault-schedule vocabulary.
+
+Seeded/derandomized hypothesis strategies over :class:`FaultSpec`,
+:class:`FaultPlan`, and :class:`StorageFault`: at-most-once firing (by
+instance, not by value), exact ``unfired()`` bookkeeping, JSON-codec
+round-trips, and construction-time rejection of invalid specs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.faults import TRIGGER_FIELDS, FaultPlan, FaultSpec
+from repro.storage.faulty import STORAGE_FAULT_KINDS, StorageFault
+
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+def _trigger_value(name):
+    if name == "at_time":
+        return st.floats(min_value=0.001, max_value=1e3,
+                         allow_nan=False, allow_infinity=False)
+    if name == "probability":
+        return st.floats(min_value=1e-4, max_value=0.5,
+                         allow_nan=False, allow_infinity=False)
+    return st.integers(min_value=1, max_value=50)
+
+
+@st.composite
+def fault_specs(draw):
+    triggers = draw(st.lists(st.sampled_from(TRIGGER_FIELDS), min_size=1,
+                             max_size=3, unique=True))
+    kw = {name: draw(_trigger_value(name)) for name in triggers}
+    if draw(st.booleans()):
+        kw["reason"] = draw(st.sampled_from(
+            ("injected fail-stop fault", "power loss", "node crash")))
+    return FaultSpec(rank=draw(st.integers(0, 7)), **kw)
+
+
+@st.composite
+def storage_faults(draw):
+    kind = draw(st.sampled_from(STORAGE_FAULT_KINDS))
+    return StorageFault(
+        kind=kind,
+        after_ops=draw(st.integers(1, 100)),
+        path_prefix=draw(st.sampled_from(("", "ckpt/", "wal/"))),
+        keep_fraction=draw(st.floats(min_value=0.0, max_value=0.999,
+                                     allow_nan=False)),
+        bit=draw(st.integers(0, 1 << 16)),
+        count=draw(st.integers(1, 5)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Firing semantics
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(st.lists(fault_specs(), min_size=1, max_size=8))
+def test_mark_fired_is_at_most_once_per_instance(specs):
+    plan = FaultPlan(specs)
+    for spec in plan.all_specs():
+        assert plan.mark_fired(spec) is True
+        assert plan.mark_fired(spec) is False      # never twice
+    assert len(plan.fired) == len(specs)
+    assert plan.unfired() == []
+
+
+@SETTINGS
+@given(fault_specs())
+def test_duplicate_specs_fire_independently(spec):
+    # two *equal* specs are distinct schedule entries: each fires once
+    twin = FaultSpec.from_dict(spec.to_dict())
+    assert twin == spec
+    plan = FaultPlan([spec, twin])
+    assert plan.mark_fired(spec) is True
+    assert plan.mark_fired(spec) is False
+    assert plan.unfired() == [twin]
+    assert plan.mark_fired(twin) is True
+    assert plan.fired == [spec, twin]
+
+
+@SETTINGS
+@given(st.lists(fault_specs(), min_size=1, max_size=8),
+       st.sets(st.integers(0, 7)))
+def test_unfired_is_exactly_the_complement(specs, fire_indices):
+    plan = FaultPlan(specs)
+    every = list(plan.all_specs())
+    chosen = [every[i % len(every)] for i in sorted(fire_indices)]
+    for spec in chosen:
+        plan.mark_fired(spec)
+    fired_ids = {id(s) for s in plan.fired}
+    assert [id(s) for s in plan.unfired()] == [
+        id(s) for s in every if id(s) not in fired_ids]
+    # rearm restores full eligibility
+    plan.rearm()
+    assert plan.fired == []
+    assert [id(s) for s in plan.unfired()] == [id(s) for s in every]
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(fault_specs())
+def test_fault_spec_roundtrips_through_json(spec):
+    wire = json.loads(json.dumps(spec.to_dict()))
+    back = FaultSpec.from_dict(wire)
+    assert back == spec
+    assert back.describe() == spec.describe()
+    assert back.kind() == spec.kind()
+
+
+@SETTINGS
+@given(storage_faults())
+def test_storage_fault_roundtrips_through_json(fault):
+    wire = json.loads(json.dumps(fault.to_dict()))
+    back = StorageFault.from_dict(wire)
+    assert back == fault
+    assert back.describe() == fault.describe()
+
+
+# ---------------------------------------------------------------------------
+# Invalid specs fail at construction
+# ---------------------------------------------------------------------------
+
+def test_triggerless_spec_is_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(rank=0)
+
+
+@pytest.mark.parametrize("field", ("in_collective", "in_drain", "at_commit",
+                                   "at_group_commit"))
+def test_one_based_triggers_reject_zero(field):
+    with pytest.raises(ValueError):
+        FaultSpec(rank=0, **{field: 0})
+
+
+def test_unknown_spec_field_is_rejected():
+    with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+        FaultSpec.from_dict({"rank": 0, "at_epoch": 1, "at_times": 0.5})
+
+
+@pytest.mark.parametrize("bad", (
+    dict(kind="melt"),
+    dict(kind="torn_write", after_ops=0),
+    dict(kind="torn_write", keep_fraction=1.0),
+    dict(kind="bit_rot", bit=-1),
+    dict(kind="enospc", count=0),
+))
+def test_invalid_storage_faults_are_rejected(bad):
+    with pytest.raises(ValueError):
+        StorageFault(**bad)
+
+
+def test_unknown_storage_fault_field_is_rejected():
+    with pytest.raises(ValueError, match="unknown StorageFault fields"):
+        StorageFault.from_dict({"kind": "enospc", "after_op": 3})

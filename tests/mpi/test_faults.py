@@ -45,7 +45,7 @@ def test_probabilistic_is_seeded():
                 plan.check(0, i, float(i))
             except ProcessFailure:
                 fires += 1
-                plan.fired.clear()  # re-arm for counting
+                plan.rearm()  # re-arm for counting
         return fires
 
     assert count_fires(1) == count_fires(1)

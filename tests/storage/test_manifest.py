@@ -3,11 +3,12 @@
 import pytest
 
 from repro.storage import (
-    InMemoryStorage, checkpoint_bytes, commit_path, committed_map,
-    committed_versions, delete_line, last_committed_global,
+    InMemoryStorage, StorageError, checkpoint_bytes, commit_path,
+    committed_map, committed_versions, delete_line, last_committed_global,
     last_committed_local, line_manifest, record_commit, section_digest,
     section_path, validate_line,
 )
+from repro.storage.manifest import parse_commit_record
 
 
 @pytest.fixture
@@ -130,6 +131,31 @@ class TestManifestValidation:
         store.write(section_path(2, 1, "app"), b"v")  # truncated: torn
         assert last_committed_global(store, 2) == 2
         assert last_committed_global(store, 2, validate=True) == 1
+
+    def test_torn_commit_marker_is_a_storage_error(self):
+        # Regression (found by the fault fuzzer): a COMMIT marker torn
+        # mid-write is neither the legacy token nor a parsable manifest;
+        # the deserializer's IndexError used to escape raw and crash
+        # every recovery query that touched the line.
+        store = InMemoryStorage()
+        write_line(store, 1, 0, {"app": b"abcdef"})
+        whole = store.read(commit_path(1, 0))
+        for cut in (1, len(whole) // 2, len(whole) - 1):
+            store.write(commit_path(1, 0), whole[:cut])
+            with pytest.raises(StorageError, match="corrupt COMMIT"):
+                parse_commit_record(store.read(commit_path(1, 0)))
+
+    def test_torn_commit_marker_fails_validation_not_the_program(self):
+        store = InMemoryStorage()
+        write_line(store, 1, 0, {"app": b"v1"})
+        write_line(store, 2, 0, {"app": b"v2"})
+        torn = store.read(commit_path(2, 0))[:5]
+        store.write(commit_path(2, 0), torn)
+        assert not validate_line(store, 2, 0)
+        assert line_manifest(store, 2, 0) is None
+        # recovery queries fall back past the torn line instead of dying
+        assert last_committed_local(store, 0, validate=True) == 1
+        assert last_committed_global(store, 1, validate=True) == 1
 
 
 def test_delete_line_removes_sections_and_marker(store):
