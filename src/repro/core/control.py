@@ -68,17 +68,21 @@ class ControlPlane:
         n = 0
         while True:
             # Polled on every intercepted call: the O(1) context check
-            # short-circuits the (wildcard) probe in the common no-traffic
-            # case.
+            # short-circuits the (wildcard) drain in the common no-traffic
+            # case.  The drain itself is out-of-band — no call overhead,
+            # no availability sync — because it models the PSC-style
+            # daemon consuming control traffic outside the application:
+            # charging it here would stamp the drain's backend-dependent
+            # physical delivery point into the virtual clock (the same
+            # argument that keeps committed-floor GC off the control
+            # plane, see the module docstring).
             if not self.comm.has_pending():
                 return n
-            flag, status = self.comm.Iprobe(source=ANY_SOURCE,
-                                            tag=TAG_CKPT_INITIATED)
-            if not flag:
-                return n
             buf = np.empty(2, dtype=np.int64)
-            st = self.comm.Recv(buf, source=status.source,
-                                tag=TAG_CKPT_INITIATED)
+            st = self.comm.recv_out_of_band(buf, source=ANY_SOURCE,
+                                            tag=TAG_CKPT_INITIATED)
+            if st is None:
+                return n
             line, count = int(buf[0]), int(buf[1])
             peers = self.initiated.setdefault(line, {})
             if st.source in peers:

@@ -202,6 +202,9 @@ class C3Protocol:
 
         self.modes = ModeTracker(Mode.RUN)
         self.epoch = 0
+        #: (epoch, stopped-logging) -> WirePiggyback; the encoded value
+        #: only changes at mode/epoch transitions, not per send
+        self._pb_cache: Optional[Tuple[int, bool, WirePiggyback]] = None
         self.counters = CounterSet(self.nprocs, self.rank)
         #: control plane on a dedicated duplicate of COMM_WORLD
         self.control = ControlPlane(mpi.COMM_WORLD.Dup("c3.control"),
@@ -360,8 +363,14 @@ class C3Protocol:
     # ------------------------------------------------------- piggyback encoding
     def _piggyback(self) -> WirePiggyback:
         stopped = self.modes.mode is not Mode.NONDET_LOG
-        return WirePiggyback(self.codec.encode(self.epoch, stopped),
-                             self.codec.nbytes)
+        cached = self._pb_cache
+        if (cached is not None and cached[0] == self.epoch
+                and cached[1] == stopped):
+            return cached[2]
+        wp = WirePiggyback(self.codec.encode(self.epoch, stopped),
+                           self.codec.nbytes)
+        self._pb_cache = (self.epoch, stopped, wp)
+        return wp
 
     # ------------------------------------------------------------ control plane
     def _poll_control(self) -> None:

@@ -560,9 +560,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                          f"(known: {', '.join(KILL_TIMINGS)})")
     ap.add_argument("--nprocs", type=int, default=4,
                     help="simulated ranks per scenario (default 4)")
-    ap.add_argument("--engine", choices=["cooperative", "threads"],
-                    help="execution backend (default: the cooperative "
-                         "scheduler, or REPRO_ENGINE)")
+    ap.add_argument("--engine",
+                    help="execution backend: cooperative, threads, or "
+                         "sharded[:N] for N forked node-shards (default: "
+                         "the cooperative scheduler, or REPRO_ENGINE)")
     ap.add_argument("--storage",
                     choices=["memory", "disk", "wal", "wal-disk"],
                     default="memory",

@@ -15,13 +15,17 @@ beyond a tolerance.
 Feasible because the engine's default backend is the cooperative rank
 scheduler (:mod:`repro.mpi.scheduler`): a 256-rank job costs 256 parked
 carrier fibers and one run loop, not 256 free-running 1 MiB threads.
-The sweep also accepts ``engine="threads"`` for differential runs.
+The sweep also accepts ``engine="threads"`` for differential runs and
+``engine="sharded[:N]"`` to split the simulated nodes across N forked
+worker processes (:mod:`repro.mpi.sharded`), which is what pushes the
+sweep past 4096 ranks (see :mod:`repro.harness.shardstudy`).
 
 Command line::
 
     python -m repro.harness.scaling --json BENCH_scaling.json
     python -m repro.harness.scaling --ranks 16,64,256 --apps ring,heat
     python -m repro.harness.scaling --platforms lemieux --engine threads
+    python -m repro.harness.scaling --ranks 1024,4096 --engine sharded:8
 
 Exit status 0 iff every (platform, app) series satisfies the flatness
 criterion; the JSON report carries the rows, the violations, and the
@@ -209,9 +213,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     ap.add_argument("--platforms", default=",".join(SCALING_PLATFORMS),
                     help="comma-separated machine models "
                          f"(default {','.join(SCALING_PLATFORMS)})")
-    ap.add_argument("--engine", choices=["cooperative", "threads"],
-                    help="execution backend (default: the cooperative "
-                         "scheduler, or REPRO_ENGINE)")
+    ap.add_argument("--engine",
+                    help="execution backend: cooperative, threads, or "
+                         "sharded[:N] for N forked node-shards (default: "
+                         "the cooperative scheduler, or REPRO_ENGINE)")
     ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE_PCT,
                     help="flatness tolerance in percentage points "
                          f"(default {DEFAULT_TOLERANCE_PCT})")

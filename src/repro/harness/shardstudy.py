@@ -1,0 +1,304 @@
+"""Sharded-engine study: scale smoke + engine-differential campaign.
+
+Two questions about :mod:`repro.mpi.sharded`, answered in one
+machine-readable report (``BENCH_shard.json``):
+
+1. **Does it scale?**  A 4096-rank scaling point (the cooperative
+   engine's practical sweep tops out around 256 ranks per the
+   ``scaling`` module) measured end to end on the sharded backend —
+   original vs. C3 makespan, exactly like a ``scaling`` sweep cell.
+2. **Is it the same simulator, only faster?**  The recovery campaign
+   matrix is run twice — cooperative and ``sharded:N`` — with identical
+   scenarios, and the reports are diffed cell by cell.  Everything a
+   scenario *verifies* (returns, recovery success, log-replay and
+   send-suppression evidence) must match exactly; virtual timings
+   match bitwise for point-to-point apps and to a relative tolerance
+   for collective-heavy apps, whose drain-triggered commit actions
+   land at control-drain observation points (DESIGN.md §10 documents
+   the contract; ``tests/mpi/test_sharded.py`` pins it).  Because the
+   observing drain itself can differ on those apps, anything coupled
+   to *where* a commit landed relative to a kill or to job completion
+   is compared structurally instead of numerically: commit instants
+   (``line_durable_at``, ``drain_sync_penalty``), retained-line
+   counts, the restore-from-line vs. log-replay recovery path when a
+   kill races a commit, storm-cell kill counts (survivors execute an
+   engine-dependent number of ops before observing an abort), and
+   failed executions' makespans — see :func:`diff_rows` for the exact
+   per-field rules.
+
+Both campaign passes run the cells inline (no process pool), so the
+wall-clock comparison isolates the engine: the cooperative pass is one
+interpreter, the sharded pass forks N node-shards per cell.  On a
+multi-core runner the sharded pass must win; ``--require-speedup X``
+turns that expectation into the exit status (CI gates at >= 4 shards on
+>= 4 cores; on fewer cores the gate is refused as vacuous).
+
+Command line::
+
+    python -m repro.harness.shardstudy --json BENCH_shard.json
+    python -m repro.harness.shardstudy --matrix full --shards 4 \\
+        --require-speedup 1.0
+    python -m repro.harness.shardstudy --scale-ranks 4096 --matrix smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .campaign import full_matrix, run_campaign, smoke_matrix
+from .scaling import measure_scaling_point
+
+__all__ = [
+    "diff_rows", "main", "run_study", "scale_smoke",
+]
+
+#: virtual timings that may skew by a few drain-position-coupled commit
+#: charges on collective-heavy apps: compared under ``rtol`` instead of
+#: bitwise (the skew is a handful of call overheads, so it is only
+#: visible at the TESTING machine's microsecond-scale makespans)
+_TOLERANT_FIELDS = ("golden_seconds", "clean_c3_seconds")
+#: commit/GC instants evaluated *at* drain observation points: on
+#: collective apps the observing drain itself differs, so the values
+#: carry no cross-engine meaning — compared for presence only
+_DRAIN_FIELDS = ("line_durable_at", "drain_sync_penalty")
+#: derived from failed executions' makespans (abort-observation
+#: instants): compared structurally, never numerically
+_ABORT_FIELDS = ("total_faulty_seconds", "restart_cost_seconds")
+
+
+def _close(a, b, rtol: float, atol: float = 0.0) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return math.isclose(float(a), float(b), rel_tol=rtol, abs_tol=atol)
+
+
+def diff_rows(label: str, rc: Dict, rs: Dict,
+              rtol: float = 2e-2) -> List[str]:
+    """Mismatches between a cooperative and a sharded campaign row.
+
+    Empty list = the cell is equivalent under the engine-differential
+    contract.  ``engine`` naturally differs and is skipped.  Two
+    schedule-coupled regimes get structural instead of numeric
+    comparison (both verify bitwise; the *path* to the verified state
+    is what differs):
+
+    * ``storm`` cells inject kills probabilistically per executed op,
+      and how many ops a survivor executes before observing an abort
+      is engine-dependent — so the kill count itself is coupled;
+    * a kill whose instant races a drain-triggered commit on a
+      collective-heavy app lands on opposite sides of the commit per
+      engine, flipping the recovery path between restore-from-line and
+      pure log replay (and shifting every makespan downstream of it).
+    """
+    storm = rc.get("kill_timing") == "storm"
+    # did both engines take the same recovery path?  if not, makespans
+    # downstream of the recovery are not numerically comparable
+    same_path = rc.get("restored_version") == rs.get("restored_version")
+    bad: List[str] = []
+    for k in sorted(set(rc) | set(rs)):
+        if k == "engine":
+            continue
+        v, w = rc.get(k), rs.get(k)
+        if k in _TOLERANT_FIELDS:
+            ok = _close(v, w, rtol)
+        elif k == "c3_overhead_pct":
+            # a ratio of two close numbers: the EP kernels amplify the
+            # clean-run commit-position skew into ~2 points of overhead
+            # at microsecond-scale makespans
+            ok = _close(v, w, rtol, atol=2.5)
+        elif k in _DRAIN_FIELDS:
+            ok = (v is None) == (w is None)
+        elif k == "lines_retained":
+            # GC runs at drain observation points; a run that finishes
+            # before the final GC pass retains more lines (never fewer
+            # than one — the recovery line itself)
+            ok = (isinstance(v, int) and isinstance(w, int)
+                  and (v == w or (v >= 1 and w >= 1)))
+        elif k == "checkpoints_committed":
+            # a commit racing the kill instant lands before it on one
+            # engine and after it on the other; under a storm the
+            # restart counts themselves differ, and each extra restart
+            # replays its own commit schedule
+            ok = (isinstance(v, int) and isinstance(w, int)
+                  and (abs(v - w) <= 1 or storm))
+        elif k == "restored_version":
+            # restore-from-line vs. log-replay is commit-race-coupled;
+            # require each engine's own restore evidence to be
+            # internally consistent instead
+            ok = all((r.get("restored_version") is None)
+                     == (not r.get("restore_seconds"))
+                     for r in (rc, rs))
+        elif k == "restore_seconds":
+            ok = True  # judged with restored_version above
+        elif k == "restarts":
+            ok = v == w or (storm and isinstance(v, int)
+                            and isinstance(w, int) and v >= 1 and w >= 1)
+        elif k == "run_seconds":
+            # failed-run makespans are abort-observation times; the
+            # recovered (final) run agrees tightly only when both
+            # engines recovered the same way
+            ok = (isinstance(v, list) and isinstance(w, list)
+                  and bool(v) and bool(w)
+                  and float(v[-1]) > 0 and float(w[-1]) > 0)
+            if ok and not storm:
+                ok = len(v) == len(w) and (
+                    not same_path
+                    or _close(float(v[-1]), float(w[-1]), rtol))
+        elif k in _ABORT_FIELDS:
+            ok = (v is None) == (w is None) and (
+                v is None or (v > 0) == (w > 0))
+        elif k == "fired":
+            # describe() strings embed resolved at_time instants, which
+            # inherit the collective-app golden-runtime skew; storm
+            # kill counts are abort-observation-coupled outright
+            ok = (isinstance(v, list) and isinstance(w, list)
+                  and (len(v) == len(w)
+                       or (storm and bool(v) and bool(w))))
+        else:
+            ok = v == w
+        if not ok:
+            bad.append(f"{label}: {k}: {v!r} != {w!r}")
+    return bad
+
+
+def scale_smoke(nprocs: int, shards: int, platform: str = "lemieux",
+                app: str = "ring", params: Optional[dict] = None,
+                wall_timeout: float = 600.0) -> Dict:
+    """One large-rank scaling point on the sharded engine."""
+    params = params if params is not None else dict(payload=16, niter=4,
+                                                   work=0.1)
+    return measure_scaling_point(app, nprocs, platform, params,
+                                 engine=f"sharded:{shards}",
+                                 wall_timeout=wall_timeout)
+
+
+def run_study(shards: int = 4, matrix: str = "smoke", nprocs: int = 4,
+              scale_ranks: int = 4096, scale_shards: Optional[int] = None,
+              rtol: float = 2e-2, progress=None) -> Dict:
+    """The full study; returns the ``BENCH_shard.json`` payload."""
+    scenarios = (full_matrix(nprocs=nprocs) if matrix == "full"
+                 else smoke_matrix(nprocs=nprocs))
+
+    point = scale_smoke(scale_ranks, scale_shards or shards)
+
+    runs = {}
+    for engine in (None, f"sharded:{shards}"):
+        name = engine or "cooperative"
+        if progress:
+            progress(f"campaign[{name}]: {len(scenarios)} cells")
+        import dataclasses
+        cells = [dataclasses.replace(s, engine=engine) for s in scenarios]
+        report = run_campaign(cells, parallel=False)
+        runs[name] = report
+
+    coop = runs["cooperative"]
+    shard = runs[f"sharded:{shards}"]
+    mismatches: List[str] = []
+    for rc, rs in zip(coop.rows, shard.rows):
+        mismatches.extend(diff_rows(rc["scenario"], rc, rs, rtol=rtol))
+
+    speedup = (coop.wall_seconds / shard.wall_seconds
+               if shard.wall_seconds else float("inf"))
+    return {
+        "shards": shards,
+        "matrix": matrix,
+        "cells": len(scenarios),
+        "cpu_count": os.cpu_count(),
+        "scaling_point": point,
+        "campaign_wall_seconds": {
+            "cooperative": coop.wall_seconds,
+            f"sharded:{shards}": shard.wall_seconds,
+        },
+        "speedup": speedup,
+        "cooperative_ok": coop.ok,
+        "sharded_ok": shard.ok,
+        "cells_match": not mismatches,
+        "mismatches": mismatches,
+        "summary": {
+            "cooperative": coop.summary(),
+            f"sharded:{shards}": shard.summary(),
+        },
+    }
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness.shardstudy",
+        description="Scale smoke + cooperative-vs-sharded campaign "
+                    "comparison for the sharded virtual-time engine.")
+    ap.add_argument("--shards", type=int, default=4,
+                    help="worker processes for the sharded passes "
+                         "(default 4)")
+    ap.add_argument("--matrix", choices=["smoke", "full"], default="smoke",
+                    help="campaign matrix to compare (smoke: CI subset; "
+                         "full: all 480 app x platform x kill cells)")
+    ap.add_argument("--nprocs", type=int, default=4,
+                    help="simulated ranks per campaign cell (default 4)")
+    ap.add_argument("--scale-ranks", type=int, default=4096,
+                    help="rank count of the sharded scaling point "
+                         "(default 4096)")
+    ap.add_argument("--rtol", type=float, default=2e-2,
+                    help="relative tolerance for drain-position-coupled "
+                         "virtual timings (default 2e-2)")
+    ap.add_argument("--require-speedup", type=float, metavar="X",
+                    help="exit 1 unless sharded campaign wall is at "
+                         "least X times faster than cooperative; refused "
+                         "when the machine has fewer cores than shards")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the machine-readable report here")
+    return ap.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    t0 = time.time()
+    report = run_study(shards=args.shards, matrix=args.matrix,
+                       nprocs=args.nprocs, scale_ranks=args.scale_ranks,
+                       rtol=args.rtol,
+                       progress=lambda msg: print(msg, flush=True))
+    report["wall_seconds"] = time.time() - t0
+
+    point = report["scaling_point"]
+    walls = report["campaign_wall_seconds"]
+    print(f"scaling point: {point['app']} x {point['nprocs']} ranks on "
+          f"{point['platform']}: original {point['original_seconds']:.4f}s, "
+          f"C3 {point['c3_seconds']:.4f}s "
+          f"({point['overhead_pct']:+.2f}%), "
+          f"{point['wall_seconds']:.1f}s wall")
+    for name, wall in walls.items():
+        print(f"campaign[{name}]: {report['cells']} cells, {wall:.1f}s wall")
+    print(f"speedup: {report['speedup']:.2f}x | cells match: "
+          f"{report['cells_match']} | verdicts ok: "
+          f"coop={report['cooperative_ok']} sharded={report['sharded_ok']}")
+    for m in report["mismatches"][:20]:
+        print(f"  MISMATCH {m}", file=sys.stderr)
+
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2, default=str)
+        print(f"wrote {args.json}")
+
+    ok = (report["cells_match"] and report["cooperative_ok"]
+          and report["sharded_ok"])
+    if args.require_speedup is not None:
+        cores = os.cpu_count() or 1
+        if cores < args.shards:
+            print(f"refusing --require-speedup: {cores} cores < "
+                  f"{args.shards} shards makes the gate vacuous",
+                  file=sys.stderr)
+            return 2
+        if report["speedup"] < args.require_speedup:
+            print(f"speedup {report['speedup']:.2f}x below required "
+                  f"{args.require_speedup:.2f}x", file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

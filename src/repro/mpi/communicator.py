@@ -219,6 +219,32 @@ class Communicator:
         self._ctx.nb_poll()
         return False
 
+    def recv_out_of_band(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                         datatype: Optional[Datatype] = None) -> Optional[Status]:
+        """Consume one matching pending message without touching virtual time.
+
+        The consumption path of an out-of-band control daemon (the
+        PSC-style process the C3 paper assumes): the receive charges no
+        call overhead and performs no availability sync, so *when* the
+        daemon happens to drain a control message leaves no trace on the
+        application's virtual clock.  That is what keeps clock traces
+        identical across execution backends whose physical delivery
+        points differ (one fiber schedule vs. sharded epoch releases) —
+        the send side still pays its full per-message cost.  Returns
+        ``None`` when nothing matching is pending (after yielding the
+        scheduler a turn, like a failed probe).
+        """
+        self._check()
+        env = self._ctx.mailbox.pop_pending(self.context_id, source, tag)
+        if env is None:
+            self._ctx.nb_poll()
+            return None
+        dt = self._resolve_type(buf, datatype)
+        elems = env.nbytes // dt.size if dt.size else env.count
+        dt.unpack(env.payload, buf, count=elems)
+        return Status(source=env.source, tag=env.tag, count=elems,
+                      nbytes=env.nbytes)
+
     def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
                context_id: Optional[int] = None) -> Tuple[bool, Optional[Status]]:
         """Non-blocking probe for a matching pending message."""

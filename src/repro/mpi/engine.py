@@ -14,8 +14,8 @@ runtimes reported in Tables 2-7, and the process counts of the
 evaluation (the cooperative backend runs the paper's true 32-1024-rank
 configurations; see :mod:`repro.harness.platforms`).
 
-Two execution backends share all of the above (``engine=`` selects one;
-the ``REPRO_ENGINE`` environment variable overrides the default):
+Three execution backends share all of the above (``engine=`` selects
+one; the ``REPRO_ENGINE`` environment variable overrides the default):
 
 * ``"cooperative"`` (default) — rank mains run as fibers under the
   deterministic cooperative scheduler (:mod:`repro.mpi.scheduler`):
@@ -23,6 +23,15 @@ the ``REPRO_ENGINE`` environment variable overrides the default):
   a single run loop, wakeups are exact, deadlock is detected the moment
   every live rank blocks, and runs are bit-reproducible.  This backend
   scales to the paper's process counts (256+ ranks).
+* ``"sharded"`` / ``"sharded:N"`` — the simulated nodes are partitioned
+  across N forked worker processes, each running a cooperative
+  scheduler over its own ranks; virtual time is synchronized with a
+  conservative lookahead window over the machine's link latencies
+  (:mod:`repro.mpi.sharded`, DESIGN.md §10).  Scales past 4096 ranks
+  and parallelizes across cores while reproducing the cooperative
+  backend's :class:`JobResult` bitwise on point-to-point kernels (the
+  differential battery in ``tests/mpi/test_sharded.py`` pins the exact
+  cross-engine contract).
 * ``"threads"`` — the original thread-per-rank model: free-running OS
   threads, condition-variable mailboxes, 1 MiB stacks, and a wall-clock
   watchdog as the only deadlock detector.  Kept as an escape hatch and
@@ -68,18 +77,33 @@ from .timemodel import MachineModel, RankClock, TESTING
 _BACKEND_ALIASES = {
     "cooperative": "cooperative", "coop": "cooperative",
     "threads": "threads", "threaded": "threads", "thread": "threads",
+    "sharded": "sharded", "shard": "sharded", "shards": "sharded",
 }
 
 
 def resolve_backend(name: Optional[str]) -> str:
-    """Canonical backend name: explicit arg > ``REPRO_ENGINE`` > default."""
+    """Canonical backend name: explicit arg > ``REPRO_ENGINE`` > default.
+
+    The sharded backend accepts a shard-count suffix — ``"sharded:8"``
+    runs (up to) 8 worker processes; bare ``"sharded"`` defaults to the
+    machine's CPU count (always clamped to the simulated node count).
+    """
     if name is None:
         name = os.environ.get("REPRO_ENGINE") or "cooperative"
-    backend = _BACKEND_ALIASES.get(str(name).lower())
+    text = str(name).lower()
+    base, sep, count = text.partition(":")
+    backend = _BACKEND_ALIASES.get(base)
     if backend is None:
         raise ValueError(
             f"unknown engine backend {name!r}; "
             f"known: {sorted(set(_BACKEND_ALIASES))}")
+    if sep:
+        if backend != "sharded":
+            raise ValueError(
+                f"engine backend {base!r} takes no ':N' suffix ({name!r})")
+        if not count.isdigit() or int(count) < 1:
+            raise ValueError(f"bad shard count in engine spec {name!r}")
+        return f"sharded:{int(count)}"
     return backend
 
 
@@ -361,6 +385,22 @@ class Engine:
         self.fault_scheduler: Optional[VirtualTimeFaultScheduler] = None
         #: the cooperative scheduler while a cooperative run is live
         self.scheduler: Optional[CooperativeScheduler] = None
+        #: the current run's ``args`` tuple; shard workers substitute
+        #: recording store wrappers here, so rank bodies must read the
+        #: job arguments through the engine rather than a closure
+        self._job_args: Tuple = ()
+
+    def shard_count(self) -> int:
+        """Requested worker-process count for the sharded backend.
+
+        ``"sharded:N"`` pins it; bare ``"sharded"`` uses the CPU count.
+        :func:`repro.mpi.sharded.plan_shards` clamps to the simulated
+        node count, so oversubscription is impossible either way.
+        """
+        _base, _sep, count = self.backend.partition(":")
+        if count:
+            return int(count)
+        return os.cpu_count() or 1
 
     # -- communicator context ids ------------------------------------------
     def context_for(self, key, force: Optional[Tuple[int, int]] = None
@@ -436,6 +476,7 @@ class Engine:
 
         timeout = wall_timeout if wall_timeout is not None else self._wall_timeout
         self._deadline = _time.monotonic() + timeout
+        self._job_args = tuple(args)
         self.rank_contexts = [RankContext(self, r) for r in range(self.nprocs)]
         self._arm_fault_scheduler()
         returns: List[Any] = [None] * self.nprocs
@@ -446,7 +487,9 @@ class Engine:
             ctx = self.rank_contexts[rank]
             mpi = MPI(ctx)
             try:
-                returns[rank] = main(mpi, *args)
+                # read through the engine: shard workers swap recording
+                # store wrappers into _job_args after forking
+                returns[rank] = main(mpi, *self._job_args)
             except ProcessFailure as pf:
                 self.abort(pf)
             except JobAborted:
@@ -464,6 +507,9 @@ class Engine:
         t0 = _time.monotonic()
         if self.backend == "threads":
             self._run_threads(worker, timeout, errors)
+        elif self.backend.startswith("sharded"):
+            from .sharded import run_sharded  # local import, no cycle
+            run_sharded(self, worker, timeout, errors, returns)
         else:
             self._run_cooperative(worker, errors)
         wall = _time.monotonic() - t0

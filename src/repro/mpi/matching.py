@@ -132,6 +132,12 @@ class Mailbox:
         self._arrival_seq = 0
         self._pending_total = 0
         self._pending_by_ctx: Dict[int, int] = {}
+        #: context -> live pending signatures; wildcard matching scans
+        #: only its own context's buckets instead of every bucket in
+        #: the mailbox (collectives keep a second context permanently
+        #: populated, which made the global scan quadratic-ish for
+        #: wildcard-heavy apps at high rank counts)
+        self._ctx_sigs: Dict[int, set] = {}
         #: signature -> deque of fully-specified receives, post order
         self._posted_exact: Dict[Signature, Deque[PostedRecv]] = {}
         #: wildcard receives, post order (the overflow list)
@@ -177,6 +183,7 @@ class Mailbox:
             bucket = self._pending.get(key)
             if bucket is None:
                 bucket = self._pending[key] = deque()
+                self._ctx_sigs.setdefault(env.context_id, set()).add(key)
             bucket.append((self._arrival_seq, env))
             self._arrival_seq += 1
             self._pending_total += 1
@@ -237,16 +244,18 @@ class Mailbox:
             return key if self._pending.get(key) else None
         if not self._pending_by_ctx.get(context_id):
             return None
+        # Scan only this context's live buckets; the winner is the
+        # unique minimal arrival stamp, so set iteration order cannot
+        # leak into matching order.
         best_key: Optional[Signature] = None
         best_arrival = -1
-        for key, bucket in self._pending.items():
-            if key[0] != context_id:
-                continue
+        pending = self._pending
+        for key in self._ctx_sigs.get(context_id, ()):
             if source != ANY_SOURCE and key[1] != source:
                 continue
             if tag != ANY_TAG and key[2] != tag:
                 continue
-            arrival = bucket[0][0]
+            arrival = pending[key][0][0]
             if best_key is None or arrival < best_arrival:
                 best_key, best_arrival = key, arrival
         return best_key
@@ -256,6 +265,10 @@ class Mailbox:
         _, env = bucket.popleft()
         if not bucket:
             del self._pending[key]
+            sigs = self._ctx_sigs[key[0]]
+            sigs.discard(key)
+            if not sigs:
+                del self._ctx_sigs[key[0]]
         self._pending_total -= 1
         remaining = self._pending_by_ctx[key[0]] - 1
         if remaining:
@@ -321,6 +334,20 @@ class Mailbox:
         """Wake any thread blocked on this mailbox (abort, fault, watchdog)."""
         with self._mutex:
             self._wake()
+
+    def pop_pending(self, context_id: int, source: int, tag: int) -> Optional[Envelope]:
+        """Pop the oldest pending envelope matching the triple, if any.
+
+        The out-of-band consumption path: no posted receive is involved,
+        so the caller (the C3 control daemon) takes the envelope without
+        the matching engine ever seeing a posted/pending rendezvous.
+        Ordering is the same oldest-arrival rule a wildcard receive uses.
+        """
+        with self._mutex:
+            key = self._oldest_pending_key(context_id, source, tag)
+            if key is None:
+                return None
+            return self._pop_pending(key)
 
     # -- probing ---------------------------------------------------------------
     def probe_pending(self, context_id: int, source: int, tag: int) -> Optional[Envelope]:

@@ -98,8 +98,17 @@ class CooperativeScheduler:
     #: loop abandons a task that never yields (non-MPI blocking call)
     HANDOFF_GRACE = 30.0
 
-    def __init__(self, engine):
+    #: consecutive no-progress switches (yield/block with no mailbox
+    #: activity) before :meth:`_on_idle_spin` fires; a no-op hook here,
+    #: overridden by the sharded worker loop to poll its master pipe so
+    #: Test/Iprobe spinners waiting on cross-shard traffic make progress
+    SPIN_HOOK_EVERY = 64
+
+    def __init__(self, engine, ranks=None):
         self.engine = engine
+        #: the subset of ranks this loop runs (None = all engine ranks);
+        #: the sharded backend runs one loop per simulated-node group
+        self.ranks = None if ranks is None else [int(r) for r in ranks]
         #: the run loop parks here while a task runs
         self._main = threading.Semaphore(0)
         self._current: Optional[RankTask] = None
@@ -171,6 +180,22 @@ class CooperativeScheduler:
                 f"matching traffic possible "
                 f"(blocked ranks: {self._deadlock_ranks})")
 
+    # -- extension hooks (overridden by the sharded worker loop) -----------
+    def _on_quiescent(self) -> bool:
+        """All live ranks are blocked and no wait predicate holds.
+
+        Return True if external traffic may still arrive (the override
+        marks ranks dirty after delivering it); False means quiescence
+        is final and the loop declares deadlock.  A single-loop run has
+        no external traffic source, so the default is final.
+        """
+        return False
+
+    def _on_idle_spin(self) -> None:
+        """Ran after :data:`SPIN_HOOK_EVERY` consecutive switches with
+        no mailbox activity — runnable ranks are spinning in
+        non-blocking completion checks with nothing arriving."""
+
     # -- carriers ------------------------------------------------------------
     def _start_carriers(self, body: Callable[[int], None]) -> None:
         def carrier(task: RankTask) -> None:
@@ -224,12 +249,14 @@ class CooperativeScheduler:
             errors: List) -> None:
         """Execute ``body(rank)`` for every rank to completion."""
         engine = self.engine
-        self._tasks = [RankTask(r) for r in range(engine.nprocs)]
+        ranks = self.ranks if self.ranks is not None else range(engine.nprocs)
+        self._tasks = [RankTask(r) for r in ranks]
         runnable: Deque[RankTask] = deque(self._tasks)
         blocked = self._blocked
         abort = engine.abort_event
         self._start_carriers(body)
-        live = engine.nprocs
+        live = len(self._tasks)
+        idle_spins = 0
 
         while live:
             wall_expired = _time.monotonic() > deadline
@@ -255,11 +282,19 @@ class CooperativeScheduler:
             if not runnable:
                 if not blocked:  # pragma: no cover - defensive
                     break
-                # Every live rank is blocked and no predicate holds: no
-                # rank can ever deliver again — instant deadlock.  Wake
-                # them so each unwinds with DeadlockError/JobAborted.
+                # Every live rank is blocked and no predicate holds.  In
+                # a sharded run another shard (or an in-transit envelope)
+                # may still wake us: ask the hook before giving up.
+                if self._on_quiescent():
+                    continue
+                # No rank can ever deliver again — instant deadlock.
+                # Wake them so each unwinds with DeadlockError/JobAborted.
+                # A hook that already learned the global picture (sharded
+                # master naming blocked ranks on every shard) has set
+                # _deadlock_ranks itself; keep its list in that case.
                 self.deadlocked = True
-                self._deadlock_ranks = sorted(blocked)
+                if not self._deadlock_ranks:
+                    self._deadlock_ranks = sorted(blocked)
                 for r in sorted(blocked):
                     runnable.append(blocked.pop(r))
                 continue
@@ -278,7 +313,15 @@ class CooperativeScheduler:
                 continue  # pragma: no cover
             if task.state == _DONE:
                 live -= 1
+                idle_spins = 0
             elif task.state == _BLOCKED:
                 blocked[task.rank] = task
+                idle_spins += 1
             else:  # _YIELDED: round-robin to the back of the queue
                 runnable.append(task)
+                idle_spins += 1
+            if self._dirty:
+                idle_spins = 0
+            elif idle_spins >= self.SPIN_HOOK_EVERY:
+                idle_spins = 0
+                self._on_idle_spin()

@@ -64,6 +64,12 @@ def normalize_path(path: str) -> str:
 class StorageBackend:
     """Abstract byte store keyed by slash-separated paths."""
 
+    #: True when writes made in a forked child are visible to the parent
+    #: process (real files).  The sharded engine uses this to decide
+    #: between replaying a shard's recorded store operations (private
+    #: memory) and reloading indexes from the medium (shared bytes).
+    shared_across_fork = False
+
     def write(self, path: str, data: bytes) -> None:
         raise NotImplementedError
 
@@ -192,6 +198,9 @@ class InMemoryStorage(StorageBackend):
 class DiskStorage(StorageBackend):
     """File-backed store with atomic writes.
 
+    ``shared_across_fork``: the files are visible to every process, so
+    sharded workers write through and the parent reloads (no op replay).
+
     Writes are lock-free: each goes to a uniquely named temp file
     (pid + thread id + per-instance counter) that is fsynced and then
     atomically ``os.replace``d into place.  Concurrent writers — the
@@ -202,6 +211,8 @@ class DiskStorage(StorageBackend):
     Appends go straight to the file (``"ab"``), unsynced; :meth:`sync`
     fsyncs the file once — the WAL's group-commit durability point.
     """
+
+    shared_across_fork = True
 
     def __init__(self, root: str):
         self.root = root

@@ -177,6 +177,18 @@ class CheckpointStore:
         not-yet-collected garbage) — the retention studies' metric."""
         return self.backend.total_bytes()
 
+    # -- cross-process refresh ---------------------------------------------
+    def reload(self) -> None:
+        """Rebuild in-memory indexes from the backend's bytes.
+
+        The sharded engine calls this on a store whose backend is
+        ``shared_across_fork`` (real disk): worker processes wrote
+        through their forked store copies directly to the medium, so
+        the parent's indexes are stale while the bytes are current.
+        Stateless stores (the scatter layout derives everything from
+        the backend) need nothing; the WAL re-replays its segments.
+        """
+
 
 class ScatterStore(CheckpointStore):
     """The per-file layout: every section its own backend object.
@@ -230,6 +242,187 @@ class ScatterStore(CheckpointStore):
 
     def checkpoint_bytes(self, version, rank):
         return _manifest.checkpoint_bytes(self.backend, version, rank)
+
+
+class RecordingStore(CheckpointStore):
+    """Per-shard checkpoint-store veneer for the sharded engine.
+
+    Each forked shard wraps the job's store in one of these.  Three
+    concerns, all in service of keeping a sharded run bit-identical to
+    the cooperative engine (see DESIGN.md §10):
+
+    * **operation log** — every mutator is recorded (with whether it
+      completed), so the parent can replay the shard's writes into the
+      real store after the run.  Per-node keyspaces are shard-disjoint,
+      which makes shard-order replay exact.  Stores over a
+      ``shared_across_fork`` backend (real disk) skip recording: their
+      bytes already landed on the medium and the parent reloads instead;
+    * **commit notices** — :meth:`take_notices` diffs the inner store's
+      ``committed_map`` against what was already reported, yielding the
+      ``(version, rank)`` lines that became *durable* since the last
+      call (under the WAL a ``commit_line`` is not durable until its
+      node's group flush, so notifying on the call itself would leak
+      commits other ranks cannot see yet).  The sharded master collects
+      these in shard status messages and rebroadcasts them at
+      quiescence epochs;
+    * **remote-commit overlay** — notices from other shards merge into
+      :meth:`committed_map`, so global queries (the GC floor of
+      ``last_committed_global``, and with it ``gc_deleted_lines`` in
+      the per-rank stats) see exactly the cross-rank commit visibility
+      a single-process run has at the same quiescence points.
+
+    Everything else — reads, validation, ``commit_hooks``, counters —
+    delegates to the wrapped store via explicit methods plus
+    ``__getattr__``.
+    """
+
+    def __init__(self, inner: CheckpointStore):
+        self.inner = inner
+        self.backend = inner.backend
+        #: replay log: (method name, args tuple, completed) — a mutator
+        #: that raised (the at_group_commit fault hook killing its rank
+        #: mid-commit) is recorded with completed=False so replay can
+        #: reproduce the exact abort point
+        self.ops: List[Tuple[str, tuple, bool]] = []
+        self._record = not getattr(inner.backend, "shared_across_fork",
+                                   False)
+        #: rank -> versions already reported through take_notices
+        self._noticed: Dict[int, set] = {}
+        #: rank -> versions committed by other shards (overlay)
+        self._remote: Dict[int, set] = {}
+
+    # -- mutators (recorded) -----------------------------------------------
+    def _logged(self, method: str, *args):
+        if not self._record:
+            return getattr(self.inner, method)(*args)
+        try:
+            result = getattr(self.inner, method)(*args)
+        except BaseException:
+            self.ops.append((method, args, False))
+            raise
+        self.ops.append((method, args, True))
+        return result
+
+    def configure(self, nprocs, procs_per_node=1):
+        self._logged("configure", nprocs, procs_per_node)
+
+    def put_section(self, version, rank, section, payload):
+        self._logged("put_section", version, rank, section, payload)
+
+    def commit_line(self, version, rank, sections=None):
+        self._logged("commit_line", version, rank, sections)
+
+    def delete_line(self, version, rank):
+        self._logged("delete_line", version, rank)
+
+    def flush(self):
+        self._logged("flush")
+
+    def flush_rank(self, rank):
+        self._logged("flush_rank", rank)
+
+    def on_job_end(self, failed_rank=None):
+        self._logged("on_job_end", failed_rank)
+
+    # -- sharded-engine plumbing ---------------------------------------------
+    def take_notices(self) -> List[Tuple[int, int]]:
+        """Durable ``(version, rank)`` commits not yet reported."""
+        notices: List[Tuple[int, int]] = []
+        for rank, versions in self.inner.committed_map().items():
+            seen = self._noticed.setdefault(rank, set())
+            for v in versions:
+                if v not in seen:
+                    seen.add(v)
+                    notices.append((v, rank))
+        notices.sort()
+        return notices
+
+    def apply_remote_commits(self, notices) -> None:
+        """Merge rebroadcast ``(version, rank)`` notices into the overlay
+        (notices for locally committed lines are harmless duplicates)."""
+        for version, rank in notices:
+            self._remote.setdefault(rank, set()).add(version)
+
+    # -- reads / global queries ----------------------------------------------
+    def read_section(self, version, rank, section):
+        return self.inner.read_section(version, rank, section)
+
+    def has_section(self, version, rank, section):
+        return self.inner.has_section(version, rank, section)
+
+    def section_size(self, version, rank, section):
+        return self.inner.section_size(version, rank, section)
+
+    def line_manifest(self, version, rank):
+        return self.inner.line_manifest(version, rank)
+
+    def validate_line(self, version, rank, deep=False):
+        return self.inner.validate_line(version, rank, deep=deep)
+
+    def committed_map(self):
+        cmap = self.inner.committed_map()
+        if self._remote:
+            cmap = dict(cmap)
+            for rank, versions in self._remote.items():
+                cmap[rank] = sorted(set(cmap.get(rank, ())) | versions)
+        return cmap
+
+    def lines_on_storage(self):
+        return self.inner.lines_on_storage()
+
+    def checkpoint_bytes(self, version, rank):
+        return self.inner.checkpoint_bytes(version, rank)
+
+    def storage_bytes(self):
+        return self.inner.storage_bytes()
+
+    def reload(self):
+        self.inner.reload()
+
+    def __getattr__(self, name):
+        if name == "inner":  # guard recursion before __init__ ran
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+class _ReplayAbort(Exception):
+    """Raised by the temporary replay commit hook to cut a replayed
+    ``commit_line`` at the same point the shard's fault did."""
+
+
+def replay_ops(store: CheckpointStore,
+               ops: List[Tuple[str, tuple, bool]]) -> None:
+    """Re-apply a shard's recorded mutations to the real store.
+
+    Completed calls replay verbatim.  A ``commit_line`` that did *not*
+    complete was cut by its rank's ``at_group_commit`` fault hook after
+    the COMMIT record was staged but before the group-flush decision;
+    replay reproduces that exact state by installing a hook that raises
+    at the same point.  Other incomplete mutators left no durable state
+    and are skipped.
+    """
+    hooks = getattr(store, "commit_hooks", None)
+    for method, args, completed in ops:
+        if completed:
+            getattr(store, method)(*args)
+            continue
+        if method == "commit_line" and hooks is not None:
+            rank = args[1]
+            prev = hooks.get(rank)
+
+            def _abort(_version):
+                raise _ReplayAbort()
+
+            hooks[rank] = _abort
+            try:
+                store.commit_line(*args)
+            except _ReplayAbort:
+                pass
+            finally:
+                if prev is None:
+                    hooks.pop(rank, None)
+                else:
+                    hooks[rank] = prev
 
 
 def as_store(storage, procs_per_node: Optional[int] = None,

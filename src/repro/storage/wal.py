@@ -534,6 +534,22 @@ class WalStore(CheckpointStore):
         cut = (last.off - ns.base) + max(1, last.length // 2)
         return bytes(ns.buf[:cut])
 
+    def reload(self) -> None:
+        """Rebuild indexes from the medium (sharded runs over real disk).
+
+        Worker processes appended to the segments through their forked
+        copies of this store; the parent's index is stale but the bytes
+        are current.  Re-replaying the log is exactly the recovery path,
+        with the same consequence a crash would have: any tail a worker
+        staged but never synced before exiting is not on the medium and
+        is lost to the parent (DESIGN.md §10 documents this caveat for
+        ``sharded`` + disk).
+        """
+        with self._lock:
+            self._reset_state()
+            if self.backend.list(WAL_PREFIX):
+                self._replay()
+
     # -- replay ----------------------------------------------------------------
     def _replay(self) -> None:
         """Rebuild the whole index from the durable log (recovery path)."""
