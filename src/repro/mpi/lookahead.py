@@ -196,16 +196,23 @@ class LookaheadWindow:
         return self._in_transit
 
     def _queued_min(self) -> List[float]:
-        """Per destination shard, the minimum queued avail_time."""
+        """Per destination shard, the minimum queued avail_time.
+
+        Per-stream avail times are nondecreasing (precondition P2), so
+        a stream's minimum is its head; emptied streams are pruned by
+        :meth:`release`/:meth:`drop_dest`, so this walks only streams
+        with traffic actually queued — not every (src, dest) pair that
+        ever communicated.
+        """
         mins = [math.inf] * self.n_shards
         for dest, keys in self._by_dest.items():
             m = mins[dest]
             for key in keys:
                 stream = self._streams.get(key)
                 if stream:
-                    for _seq, avail, _p in stream:
-                        if avail < m:
-                            m = avail
+                    head = stream[0][1]
+                    if head < m:
+                        m = head
             mins[dest] = m
         return mins
 
@@ -256,14 +263,30 @@ class LookaheadWindow:
         # clocks this release is about to wake, not the leftovers.
         eff_dest = self._eff_floors()[dest_shard]
         out: List[TransitItem] = []
+        emptied = []
         for key in sorted(keys):
             stream = self._streams.get(key)
             if not stream:
+                emptied.append(key)  # pragma: no cover - defensive
                 continue
             while stream and stream[0][1] <= bound:
                 seq, avail, payload = stream.popleft()
                 out.append((seq, key[0], key[1], avail, payload))
                 self._in_transit -= 1
+            if not stream:
+                # Prune drained streams so the sorted-keys scan and the
+                # queued-min walk stay proportional to live traffic, not
+                # to every rank pair that ever communicated; send()
+                # re-registers the key on the next envelope.
+                del self._streams[key]
+                emptied.append(key)
+        if emptied:
+            dead = set(emptied)
+            keys = [k for k in keys if k not in dead]
+            if keys:
+                self._by_dest[dest_shard] = keys
+            else:
+                del self._by_dest[dest_shard]
         if out:
             min_avail = min(item[3] for item in out)
             # The promise to the destination: future arrivals stay at or

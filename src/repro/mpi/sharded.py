@@ -20,7 +20,10 @@ Why this shape:
   envelopes only when *no* shard is running (every shard is blocked at
   a barrier, soft-spinning, or done).  Each shard's input batches are
   then a pure function of the prior epochs, never of wall-clock races,
-  which is what makes a sharded run reproducible against itself;
+  which is what makes a sharded run reproducible against itself.
+  Every waking message carries a per-shard epoch stamp that the worker
+  echoes in its statuses, so a status written before a wake — but read
+  after it — can never regress the master's view of a running shard;
 * **bitwise against the cooperative oracle** — for the
   schedule-independent kernels PR 3's differential battery established
   (wildcard matching pinned per source, senders serialized by
@@ -139,6 +142,13 @@ def plan_shards(nprocs: int, procs_per_node: int, n_shards: int
 
 
 # -- pipe framing ------------------------------------------------------------
+#
+# Readers are UNBUFFERED (``os.fdopen(fd, "rb", buffering=0)``): both
+# loops gate reads on ``select()`` of the raw fd, and a buffered reader
+# would slurp whole frames into a Python-level buffer that select cannot
+# see, stranding the second of two back-to-back frames until unrelated
+# traffic arrives.  Raw reads may return short, so frames are assembled
+# with exact-length loops.
 
 def _write_msg(fd: int, obj: Any) -> None:
     blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
@@ -149,15 +159,20 @@ def _write_msg(fd: int, obj: Any) -> None:
         view = view[n:]
 
 
-def _read_msg(reader: io.BufferedReader) -> Any:
-    head = reader.read(_LEN.size)
-    if len(head) < _LEN.size:
-        raise EOFError("shard pipe closed")
-    (length,) = _LEN.unpack(head)
-    blob = reader.read(length)
-    if len(blob) < length:
-        raise EOFError("shard pipe closed mid-frame")
-    return pickle.loads(blob)
+def _read_exact(reader: io.RawIOBase, length: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < length:
+        chunk = reader.read(length - len(buf))
+        if not chunk:
+            raise EOFError("shard pipe closed"
+                           + (" mid-frame" if buf else ""))
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def _read_msg(reader: io.RawIOBase) -> Any:
+    (length,) = _LEN.unpack(_read_exact(reader, _LEN.size))
+    return pickle.loads(_read_exact(reader, length))
 
 
 def _wait_readable(fd: int, timeout: Optional[float]) -> bool:
@@ -218,9 +233,12 @@ class _ShardWorker:
         self.local = set(ranks)
         self.rfd = rfd
         self.wfd = wfd
-        self.reader = os.fdopen(rfd, "rb")
+        self.reader = os.fdopen(rfd, "rb", buffering=0)
         self.time_specs = time_specs
         self.deadline = deadline
+        #: epoch of the last master message processed, echoed in every
+        #: status so the master can spot statuses written before a grant
+        self.epoch = 0
         self.outbox: List[Tuple[int, Any]] = []
         self.sched: Optional[_ShardScheduler] = None
         #: recording stores substituted into the job args, by position
@@ -244,13 +262,15 @@ class _ShardWorker:
             default=0.0)
         outbox, self.outbox = self.outbox, []
         _write_msg(self.wfd, ("st", self.shard, kind, floor, blocked,
-                              clock_high, outbox, self._drain_notices()))
+                              clock_high, outbox, self._drain_notices(),
+                              self.epoch))
 
     def _handle(self, msg, sched: _ShardScheduler) -> bool:
         """Apply one master message; False ends the loop in deadlock."""
         tag = msg[0]
+        self.epoch = msg[-1]  # every master message carries the epoch
         if tag == "gr":
-            _tag, items, notices = msg
+            _tag, items, notices, _epoch = msg
             for _pos, store in self.stores:
                 store.apply_remote_commits(notices)
             for _src, env in items:
@@ -309,7 +329,15 @@ class _ShardWorker:
             except EOFError:  # pragma: no cover - master died
                 self.engine.abort(None)
                 return
-            self._handle(msg, sched)
+            if not self._handle(msg, sched):  # pragma: no cover - stale race
+                # A deadlock verdict while ranks are still spinning can
+                # only follow a master/worker state divergence (the
+                # epoch stamps make that unreachable); do not leave a
+                # half-applied verdict — drop the rank list and degrade
+                # to an abort so the loop actually terminates.
+                sched._deadlock_ranks = []
+                self.engine.abort(None)
+                return
 
     # -- lifecycle ----------------------------------------------------------
     def install(self) -> None:
@@ -404,7 +432,7 @@ def _worker_main(engine, shard: int, ranks: List[int], rfd: int, wfd: int,
 
 class _ShardHandle:
     __slots__ = ("shard", "ranks", "pid", "rfd", "wfd", "reader", "state",
-                 "blocked", "report", "notices_sent")
+                 "blocked", "report", "notices_sent", "epoch")
 
     def __init__(self, shard: int, ranks: List[int]):
         self.shard = shard
@@ -412,12 +440,16 @@ class _ShardHandle:
         self.pid = -1
         self.rfd = -1
         self.wfd = -1
-        self.reader: Optional[io.BufferedReader] = None
+        self.reader: Optional[io.RawIOBase] = None
         self.state = _BUSY
         self.blocked: List[int] = []
         self.report: Optional[dict] = None
         #: how many global store notices this shard has been sent
         self.notices_sent = 0
+        #: bumped on every waking message sent to this shard; a status
+        #: echoing an older epoch was written before the wake and must
+        #: not regress the shard's state (see absorb())
+        self.epoch = 0
 
 
 def run_sharded(engine, body: Callable[[int], None], timeout: float,
@@ -477,22 +509,30 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
         h.pid = pid
         h.wfd = p2c_w
         h.rfd = c2p_r
-        h.reader = os.fdopen(c2p_r, "rb")
+        h.reader = os.fdopen(c2p_r, "rb", buffering=0)
 
     notices_log: List[Tuple[int, int]] = []
     notified_specs = [False] * len(time_specs)
     clock_high = 0.0
 
-    def send_to(h: _ShardHandle, msg) -> None:
+    def post(h: _ShardHandle, *parts) -> None:
+        """Send a waking message, stamped with a bumped shard epoch.
+
+        The worker echoes the epoch of the last master message it has
+        processed in every status, so a status written *before* this
+        message — possibly still sitting in the pipe — is recognizably
+        stale and cannot regress the shard's master-side state.
+        """
+        h.epoch += 1
         try:
-            _write_msg(h.wfd, msg)
+            _write_msg(h.wfd, parts + (h.epoch,))
         except (BrokenPipeError, OSError):  # pragma: no cover - child died
             pass
 
     def grant(h: _ShardHandle, items) -> None:
         fresh = notices_log[h.notices_sent:]
         h.notices_sent = len(notices_log)
-        send_to(h, ("gr", [item[4] for item in items], fresh))
+        post(h, "gr", [item[4] for item in items], fresh)
         h.state = _BUSY
 
     def progress() -> None:
@@ -501,7 +541,7 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
         if flag.is_set():
             for h in live:
                 if h.state == _WAIT:
-                    send_to(h, ("wk",))
+                    post(h, "wk")
                     h.state = _BUSY
             return
         # Virtual-time fault notices: a fault comes due when ANY rank's
@@ -512,7 +552,7 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
             notified_specs[i] = True
             victim = handles[shard_of_rank[spec.rank]]
             if victim.state != _EXITED:
-                send_to(victim, ("fd", i, clock_high))
+                post(victim, "fd", i)
                 if victim.state == _WAIT:
                     victim.state = _BUSY
         if any(h.state == _BUSY for h in handles):
@@ -541,16 +581,17 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
             ranks = sorted(r for h in live for r in h.blocked)
             if ranks:
                 owner = handles[shard_of_rank[ranks[0]]]
-                send_to(owner, ("dl", ranks))
+                post(owner, "dl", ranks)
                 owner.state = _BUSY
 
     def absorb(h: _ShardHandle, msg) -> None:
         nonlocal clock_high
         tag = msg[0]
         if tag == "st":
-            _t, _shard, kind, floor, blocked, high, outbox, notices = msg
-            h.state = _WAIT if kind == "b" else _SOFT
-            h.blocked = blocked
+            (_t, _shard, kind, floor, blocked, high, outbox, notices,
+             epoch) = msg
+            # Sends, notices and the clock high-water are real no matter
+            # when the status was written; absorb them unconditionally.
             clock_high = max(clock_high, high)
             for src, env in outbox:
                 dest = shard_of_rank[env.dest]
@@ -558,6 +599,17 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
                     continue  # unconsumable: the destination completed
                 window.send(src, env.dest, env.avail_time, (src, env))
             notices_log.extend(notices)
+            if epoch != h.epoch:
+                # Written before a wake we already sent (grant/fault/
+                # deadlock): the worker is running that wake right now,
+                # so taking this state would regress a _BUSY shard to
+                # _WAIT/_SOFT with a stale blocked list — the raw
+                # material of a spurious cross-shard deadlock verdict
+                # or a release epoch started mid-run.  The worker
+                # re-sends a fresh status at its next quiescence/spin.
+                return
+            h.state = _WAIT if kind == "b" else _SOFT
+            h.blocked = blocked
             window.report(h.shard, floor)
         elif tag == "ex":
             _t, _shard, report = msg
