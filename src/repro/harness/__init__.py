@@ -57,8 +57,15 @@ _OVERLAP_EXPORTS = frozenset({
     "OVERLAP_KERNELS", "OVERLAP_PLATFORMS", "fault_rows", "overhead_rows",
     "render_overlap",
 })
+_JOBS_EXPORTS = frozenset({
+    "STORAGE_CHOICES", "open_store", "write_artifact",
+})
+_LOADGEN_EXPORTS = frozenset({
+    "build_mix", "percentile", "run_loadgen",
+})
 __all__ += (sorted(_CAMPAIGN_EXPORTS) + sorted(_SCALING_EXPORTS)
-            + sorted(_SIZES_EXPORTS) + sorted(_OVERLAP_EXPORTS))
+            + sorted(_SIZES_EXPORTS) + sorted(_OVERLAP_EXPORTS)
+            + sorted(_JOBS_EXPORTS) + sorted(_LOADGEN_EXPORTS))
 
 
 def __getattr__(name: str):
@@ -74,4 +81,10 @@ def __getattr__(name: str):
     if name in _OVERLAP_EXPORTS:
         from . import overlap
         return getattr(overlap, name)
+    if name in _JOBS_EXPORTS:
+        from . import jobs
+        return getattr(jobs, name)
+    if name in _LOADGEN_EXPORTS:
+        from . import loadgen
+        return getattr(loadgen, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -73,21 +73,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps import APPS
 from ..mpi.timemodel import MACHINES
-from .parallel import Cell, run_cells
+from .jobs import (
+    add_engine_arg, add_output_args, add_seed_arg, add_storage_arg,
+    add_worker_args, fail_exit, open_store, run_study, write_artifact,
+    StudyJob,
+)
+from .parallel import Cell, CellError
 from .report import render_table
 from .runner import measure_recovery
 
 __all__ = [
     "APP_KERNELS", "CAMPAIGN_PARAMS", "COLLECTIVE_APPS",
     "INSTRUMENTED_KERNELS", "KILL_TIMINGS",
-    "CampaignReport", "Scenario", "build_matrix", "full_matrix", "main",
-    "render_campaign", "run_campaign", "smoke_matrix",
+    "CampaignJob", "CampaignReport", "Scenario", "build_matrix",
+    "full_matrix", "main", "render_campaign", "run_campaign",
+    "smoke_matrix",
 ]
 
 #: The ten benchmark kernels of the paper's Section 6, plus the two demo
@@ -420,8 +425,9 @@ def _measure_scenario(scenario: Scenario) -> Dict:
 
     Scenario errors (a deadlocked run, a protocol assertion) become
     error records, so a broken cell neither aborts its ``run_cells``
-    wave nor discards the pool's in-flight results for the rest.
-    ``storage="disk"`` scenarios run against fresh tmpdir-rooted
+    wave nor discards the pool's in-flight results for the rest.  The
+    storage flavor resolves through :func:`repro.harness.jobs.
+    open_store`: ``"disk"`` scenarios run against fresh tmpdir-rooted
     :class:`~repro.storage.stable.DiskStorage` backends (removed after
     the measurement); ``"wal"`` / ``"wal-disk"`` wrap the in-memory /
     tmpdir backend in a fresh :class:`~repro.storage.wal.WalStore`, so
@@ -429,39 +435,36 @@ def _measure_scenario(scenario: Scenario) -> Dict:
     restart — runs against the log-structured engine.
     """
     s = scenario
-    root = None
-    factory = None
-    if s.storage in ("disk", "wal-disk"):
-        import tempfile
-
-        from ..storage.stable import DiskStorage
-
-        root = tempfile.mkdtemp(prefix="repro-campaign-")
-        seq = iter(range(1 << 30))
-        factory = lambda: DiskStorage(f"{root}/store{next(seq)}")  # noqa: E731
-    elif s.storage not in ("memory", "wal"):
-        return _error_record(
-            s, ValueError(f"unknown storage backend {s.storage!r} "
-                          "(known: memory, disk, wal, wal-disk)"))
-    if s.storage in WAL_STORAGES:
-        from ..storage.stable import InMemoryStorage
-        from ..storage.wal import WalStore
-
-        backend_factory = factory or InMemoryStorage
-        factory = lambda: WalStore(backend_factory())  # noqa: E731
     try:
-        return measure_recovery(
-            s.app, s.nprocs, MACHINES[s.platform], dict(s.params),
-            [dict(k) for k in s.kills], interval_frac=s.interval_frac,
-            seed=s.seed, wall_timeout=s.wall_timeout, engine=s.engine,
-            storage_factory=factory)
+        with open_store(s.storage, prefix="repro-campaign-") as factory:
+            return measure_recovery(
+                s.app, s.nprocs, MACHINES[s.platform], dict(s.params),
+                [dict(k) for k in s.kills], interval_frac=s.interval_frac,
+                seed=s.seed, wall_timeout=s.wall_timeout, engine=s.engine,
+                storage_factory=factory)
     except Exception as exc:  # noqa: BLE001 - verdict, not crash
         return _error_record(s, exc)
-    finally:
-        if root is not None:
-            import shutil
 
-            shutil.rmtree(root, ignore_errors=True)
+
+class CampaignJob(StudyJob):
+    """The recovery campaign as a study job: scenarios in, verdicts out."""
+
+    name = "campaign"
+
+    def __init__(self, scenarios: Sequence[Scenario]):
+        self.scenarios = list(scenarios)
+
+    def cells(self) -> List[Cell]:
+        return [Cell(_measure_scenario, dict(scenario=s), label=s.label)
+                for s in self.scenarios]
+
+    def judge(self, index: int, cell: Cell, result: Dict) -> Dict:
+        return _judge(self.scenarios[index], result)
+
+    def error_row(self, index: int, cell: Cell, err: CellError) -> Dict:
+        s = self.scenarios[index]
+        return _judge(s, dict(_error_record(s, RuntimeError(err.error)),
+                              traceback=err.traceback))
 
 
 def run_campaign(scenarios: Sequence[Scenario],
@@ -469,40 +472,20 @@ def run_campaign(scenarios: Sequence[Scenario],
                  max_workers: Optional[int] = None,
                  progress: Optional[Callable[[Dict], None]] = None,
                  ) -> CampaignReport:
-    """Run every scenario through the process-pool harness.
+    """Run every scenario through the shared study-job harness.
 
     Per-scenario errors are captured as failed rows instead of aborting
     the campaign, so one broken cell cannot hide the verdicts of the
     rest.  ``progress`` receives each judged row as it completes (input
     order).
     """
-    scenarios = list(scenarios)
-    cells = [Cell(_measure_scenario, dict(scenario=s), label=s.label)
-             for s in scenarios]
-    rows: List[Optional[Dict]] = [None] * len(scenarios)
-
-    def on_result(i: int, _cell, record: Dict) -> None:
-        rows[i] = _judge(scenarios[i], record)
-        if progress is not None:
-            progress(rows[i])
-
-    t0 = time.time()
-    harness_error = None
-    try:
-        run_cells(cells, max_workers=max_workers, parallel=parallel,
-                  on_result=on_result)
-    except Exception as exc:  # noqa: BLE001 - recorded, not hidden
-        # Only a harness-level crash lands here (the cells themselves
-        # never raise) — e.g. BrokenProcessPool losing the in-flight
-        # wave, or a pickling failure.  Finish whatever has no verdict
-        # yet inline, and surface the cause in the report.
-        harness_error = f"{type(exc).__name__}: {exc}"
-        for i, row in enumerate(rows):
-            if row is None:
-                on_result(i, None, _measure_scenario(scenarios[i]))
-    return CampaignReport(rows=[r for r in rows if r is not None],
-                          wall_seconds=time.time() - t0,
-                          harness_error=harness_error)
+    report = run_study(
+        CampaignJob(scenarios), parallel=parallel, max_workers=max_workers,
+        progress=(None if progress is None
+                  else lambda _i, row: progress(row)))
+    return CampaignReport(rows=report.rows,
+                          wall_seconds=report.wall_seconds,
+                          harness_error=report.harness_error)
 
 
 def render_campaign(rows: Sequence[Dict]) -> str:
@@ -560,13 +543,8 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                          f"(known: {', '.join(KILL_TIMINGS)})")
     ap.add_argument("--nprocs", type=int, default=4,
                     help="simulated ranks per scenario (default 4)")
-    ap.add_argument("--engine",
-                    help="execution backend: cooperative, threads, or "
-                         "sharded[:N] for N forked node-shards (default: "
-                         "the cooperative scheduler, or REPRO_ENGINE)")
-    ap.add_argument("--storage",
-                    choices=["memory", "disk", "wal", "wal-disk"],
-                    default="memory",
+    add_engine_arg(ap)
+    add_storage_arg(ap, default="memory",
                     help="stable-storage engine per scenario: scatter "
                          "layout over in-memory (default) or tmpdir-rooted "
                          "real files, or the WAL engine over the same two "
@@ -574,19 +552,11 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     ap.add_argument("--interval-frac", type=float, default=0.2,
                     help="checkpoint interval as a fraction of the golden "
                          "runtime (default 0.2)")
-    ap.add_argument("--seed", type=int, default=0,
-                    help="RNG seed for probabilistic kills")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
-    ap.add_argument("--workers", type=int,
-                    help="process-pool size (default: REPRO_BENCH_WORKERS "
-                         "or cpu_count-1)")
-    ap.add_argument("--inline", action="store_true",
-                    help="run scenarios in this process (no pool)")
+    add_seed_arg(ap, help="RNG seed for probabilistic kills")
+    add_worker_args(ap)
     ap.add_argument("--list", action="store_true",
                     help="print the scenario matrix and exit")
-    ap.add_argument("-q", "--quiet", action="store_true",
-                    help="suppress per-scenario progress lines")
+    add_output_args(ap)
     return ap.parse_args(argv)
 
 
@@ -655,11 +625,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"warning: worker pool degraded to inline execution: "
               f"{report.harness_error}", file=sys.stderr)
     if args.json:
-        report.write_json(args.json)
-        print(f"wrote {args.json}")
+        write_artifact(args.json, {"summary": report.summary(),
+                                   "rows": report.rows})
     if not report.ok:
-        print("FAILED scenarios:", ", ".join(s["failed"]), file=sys.stderr)
-        return 1
+        return fail_exit(s["failed"], what="scenarios")
     return 0
 
 

@@ -41,6 +41,8 @@ import argparse
 import hashlib
 import json
 import random
+import shutil
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field, fields, replace
@@ -53,10 +55,15 @@ from ..mpi.faults import TRIGGER_FIELDS, FaultPlan, FaultSpec
 from ..mpi.timemodel import MACHINES, TESTING
 from ..storage.faulty import (STORAGE_FAULT_KINDS, FaultyStorage, FaultyStore,
                               StorageFault)
-from ..storage.stable import InMemoryStorage
+from ..storage.stable import DiskStorage, InMemoryStorage
 from ..storage.store import ScatterStore, as_store
 from ..storage.wal import WalStore
 from .campaign import CAMPAIGN_PARAMS, COLLECTIVE_APPS
+from .jobs import (
+    STORAGE_CHOICES, add_engine_arg, add_output_args, add_seed_arg,
+    add_storage_arg, add_worker_args, write_artifact,
+)
+from .parallel import Cell, CellError, run_cells
 from .runner import _resolve_kill, _returns_equal
 
 #: JSON schedule format version (bump on incompatible change)
@@ -92,8 +99,10 @@ class FuzzSchedule:
     app: str
     nprocs: int
     platform: str = "testing"
-    #: "memory" = scatter layout, "wal" = log-structured engine (both over
-    #: an in-memory backend wrapped by :class:`FaultyStorage`)
+    #: stable-storage flavor (:data:`repro.harness.jobs.STORAGE_CHOICES`):
+    #: "memory"/"disk" = scatter layout, "wal"/"wal-disk" = log-structured
+    #: engine, each over an in-memory or tmpdir-rooted real-file backend
+    #: wrapped by :class:`FaultyStorage`
     storage: str = "memory"
     interval_frac: float = 0.2
     seed: int = 0
@@ -110,8 +119,9 @@ class FuzzSchedule:
             raise ValueError(f"unknown app {self.app!r}")
         if self.platform not in FUZZ_MACHINES:
             raise ValueError(f"unknown platform {self.platform!r}")
-        if self.storage not in ("memory", "wal"):
-            raise ValueError(f"storage must be 'memory' or 'wal', "
+        if self.storage not in STORAGE_CHOICES:
+            raise ValueError(f"storage must be one of "
+                             f"{', '.join(STORAGE_CHOICES)}, "
                              f"not {self.storage!r}")
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -196,16 +206,17 @@ GoldenCache = Dict[tuple, Tuple[list, float]]
 
 
 def _golden(sched: FuzzSchedule, cache: Optional[GoldenCache],
-            wall_timeout: float) -> Tuple[list, float]:
+            wall_timeout: float,
+            engine: Optional[str] = None) -> Tuple[list, float]:
     params = sched.params or {}
     key = (sched.app, sched.platform, sched.nprocs,
-           tuple(sorted(params.items())))
+           tuple(sorted(params.items())), engine)
     if cache is not None and key in cache:
         return cache[key]
     from .runner import _with_params
     result = run_original(_with_params(sched.app, params), sched.nprocs,
                           machine=FUZZ_MACHINES[sched.platform],
-                          wall_timeout=wall_timeout)
+                          wall_timeout=wall_timeout, engine=engine)
     result.raise_errors()
     value = (result.returns, result.virtual_time)
     if cache is not None:
@@ -219,7 +230,7 @@ class _Livelock(Exception):
 
 def run_schedule(sched: FuzzSchedule, cache: Optional[GoldenCache] = None,
                  max_restarts: int = 8, wall_timeout: float = 120.0,
-                 ) -> Dict[str, Any]:
+                 engine: Optional[str] = None) -> Dict[str, Any]:
     """Execute one schedule: golden run, faulty run + restart loop, verify.
 
     Returns a plain-data record.  ``verdict`` is one of:
@@ -240,14 +251,22 @@ def run_schedule(sched: FuzzSchedule, cache: Optional[GoldenCache] = None,
     params = sched.params or {}
     app = _with_params(sched.app, params)
 
-    golden_returns, golden_s = _golden(sched, cache, wall_timeout)
+    golden_returns, golden_s = _golden(sched, cache, wall_timeout,
+                                       engine=engine)
     config = C3Config(checkpoint_interval=golden_s * sched.interval_frac)
     plan = FaultPlan([_resolve_kill(k, golden_s) for k in sched.kills],
                      seed=sched.seed)
+    tmp_root: Optional[str] = None
+    if sched.storage in ("disk", "wal-disk"):
+        tmp_root = tempfile.mkdtemp(prefix="repro-fuzz-")
+        base_storage: Any = DiskStorage(f"{tmp_root}/store")
+    else:
+        base_storage = InMemoryStorage()
     backend = FaultyStorage(
-        InMemoryStorage(),
+        base_storage,
         [StorageFault.from_dict(sf) for sf in sched.storage_faults])
-    inner_store = (WalStore(backend) if sched.storage == "wal"
+    inner_store = (WalStore(backend)
+                   if sched.storage in ("wal", "wal-disk")
                    else ScatterStore(backend))
     storage = FaultyStore(inner_store, backend)
 
@@ -265,7 +284,8 @@ def run_schedule(sched: FuzzSchedule, cache: Optional[GoldenCache] = None,
             result, stats = run_c3(app, sched.nprocs, machine=machine,
                                    storage=storage, config=config,
                                    fault_plan=plan,
-                                   wall_timeout=wall_timeout)
+                                   wall_timeout=wall_timeout,
+                                   engine=engine)
             result.raise_errors()
             while result.failure is not None:
                 restarts += 1
@@ -274,7 +294,8 @@ def run_schedule(sched: FuzzSchedule, cache: Optional[GoldenCache] = None,
                 result, stats = resume_from_manifest(
                     app, sched.nprocs, storage, machine=machine,
                     config=config, fault_plan=plan,
-                    wall_timeout=wall_timeout, require_line=False)
+                    wall_timeout=wall_timeout, require_line=False,
+                    engine=engine)
                 result.raise_errors()
             verified = _returns_equal(result.returns, golden_returns)
             if not verified:
@@ -298,6 +319,8 @@ def run_schedule(sched: FuzzSchedule, cache: Optional[GoldenCache] = None,
             failure_class = f"exception:{type(exc).__name__}"
     finally:
         coverage.install(previous)
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)
 
     points: Set[str] = set(cmap.points())
     for spec in plan.fired:
@@ -437,7 +460,9 @@ def _normalize(sched: FuzzSchedule) -> FuzzSchedule:
     kills = [dict(k) for k in sched.kills]
     for kill in kills:
         kill["rank"] = kill.get("rank", 0) % sched.nprocs
-    storage = "wal" if sched.needs_wal() else sched.storage
+    storage = sched.storage
+    if sched.needs_wal() and storage in ("memory", "disk"):
+        storage = "wal" if storage == "memory" else "wal-disk"
     return replace(sched, kills=kills, storage=storage,
                    params=dict(sched.params or {}))
 
@@ -493,7 +518,8 @@ def mutate(rng: random.Random, parent: FuzzSchedule,
     elif op == "drop_sf" and sched.storage_faults:
         sched.storage_faults.pop(rng.randrange(len(sched.storage_faults)))
     elif op == "flip_storage":
-        sched.storage = "wal" if sched.storage == "memory" else "memory"
+        sched.storage = {"memory": "wal", "wal": "memory",
+                         "disk": "wal-disk", "wal-disk": "disk"}[sched.storage]
     elif op == "reseed":
         sched.seed = rng.randrange(1 << 16)
     elif op == "interval":
@@ -550,7 +576,8 @@ def minimize(sched: FuzzSchedule,
                 cand_dict[fld] = items[:i] + items[i + 1:]
                 cand_dict["label"] = f"{sched.label}-min"
                 cand = FuzzSchedule.from_dict(cand_dict)
-                if cand.needs_wal() and cand.storage != "wal":
+                if cand.needs_wal() and cand.storage not in ("wal",
+                                                             "wal-disk"):
                     continue
                 if still_fails(cand):
                     cur = cand
@@ -614,10 +641,18 @@ def load_schedule(path: str) -> FuzzSchedule:
 # The fuzz loop
 # ---------------------------------------------------------------------------
 
+def _run_schedule_cell(sched_dict: Dict[str, Any],
+                       engine: Optional[str] = None) -> Dict[str, Any]:
+    """Pool-farmable wrapper: one schedule by value (no shared cache)."""
+    return run_schedule(FuzzSchedule.from_dict(sched_dict), engine=engine)
+
+
 def fuzz(max_schedules: int = 200, max_seconds: Optional[float] = None,
          seed: int = 0, corpus_dir: Optional[str] = None,
          smoke: bool = False, quiet: bool = False,
-         nprocs: int = 4) -> Dict[str, Any]:
+         nprocs: int = 4, engine: Optional[str] = None,
+         storage: Optional[str] = None,
+         workers: Optional[int] = None) -> Dict[str, Any]:
     """Run the coverage-guided loop; returns the machine-readable report.
 
     The deterministic seed schedules always run first (they are the
@@ -626,6 +661,14 @@ def fuzz(max_schedules: int = 200, max_seconds: Optional[float] = None,
     the queue, otherwise fresh random schedules are drawn.  Failures are
     delta-minimized and (when ``corpus_dir`` is set) pinned as corpus
     JSON.
+
+    ``engine`` forwards to every golden/faulty/resume execution;
+    ``storage`` forces each schedule's stable-storage flavor (WAL-only
+    fault features promote memory->wal and disk->wal-disk so the
+    schedule stays runnable); ``workers`` farms the deterministic seed
+    wave through the process pool — the guided phase stays sequential
+    because each step's generation depends on the coverage feedback of
+    the previous one.
     """
     rng = random.Random(seed)
     cache: GoldenCache = {}
@@ -638,19 +681,47 @@ def fuzz(max_schedules: int = 200, max_seconds: Optional[float] = None,
     minimizer_runs = 0
     t0 = time.monotonic()
 
+    def force(s: FuzzSchedule) -> FuzzSchedule:
+        if storage is None:
+            return s
+        want = storage
+        if s.needs_wal() and want in ("memory", "disk"):
+            want = "wal" if want == "memory" else "wal-disk"
+        return replace(s, storage=want) if want != s.storage else s
+
     def runner(s: FuzzSchedule) -> Dict[str, Any]:
-        return run_schedule(s, cache)
+        return run_schedule(s, cache, engine=engine)
+
+    # farm the deterministic seed wave when a pool budget was given;
+    # records are consumed in input order, so the accounting (and the
+    # RNG stream feeding mutations) matches the sequential run
+    prerun: deque = deque()
+    if workers is not None and workers > 1 and queue:
+        wave = [force(s) for s in list(queue)[:max_schedules]]
+        for _ in wave:
+            queue.popleft()
+        outs = run_cells(
+            [Cell(_run_schedule_cell,
+                  dict(sched_dict=s.to_dict(), engine=engine),
+                  label=f"fuzz:{s.label}") for s in wave],
+            parallel=True, max_workers=workers)
+        for s, rec in zip(wave, outs):
+            prerun.append((s, None if isinstance(rec, CellError) else rec))
 
     while tried < max_schedules:
         if max_seconds is not None and time.monotonic() - t0 > max_seconds:
             break
-        if queue:
-            sched = queue.popleft()
+        record = None
+        if prerun:
+            sched, record = prerun.popleft()
+        elif queue:
+            sched = force(queue.popleft())
         elif interesting and rng.random() < 0.7:
-            sched = mutate(rng, rng.choice(interesting), tried)
+            sched = force(mutate(rng, rng.choice(interesting), tried))
         else:
-            sched = random_schedule(rng, tried)
-        record = runner(sched)
+            sched = force(random_schedule(rng, tried))
+        if record is None:
+            record = runner(sched)
         tried += 1
         new = set(record["coverage"]) - achieved
         achieved |= new
@@ -703,6 +774,10 @@ def fuzz(max_schedules: int = 200, max_seconds: Optional[float] = None,
         "smoke": smoke,
         "smoke_ok": not missing and not failures,
     }
+    if engine is not None:
+        report["engine"] = engine
+    if storage is not None:
+        report["storage"] = storage
     return report
 
 
@@ -729,16 +804,18 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                     help="schedule budget (default 200)")
     ap.add_argument("--seconds", type=float,
                     help="wall-clock budget in seconds")
-    ap.add_argument("--seed", type=int, default=0,
-                    help="master RNG seed (default 0)")
+    add_seed_arg(ap, help="master RNG seed (default 0)")
     ap.add_argument("--nprocs", type=int, default=4,
                     help="ranks for the seed schedules (default 4)")
     ap.add_argument("--corpus", metavar="DIR",
                     help="write minimized failing schedules here")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
-    ap.add_argument("-q", "--quiet", action="store_true",
-                    help="suppress per-schedule progress lines")
+    add_engine_arg(ap)
+    add_storage_arg(ap, help="force every schedule's stable-storage "
+                             "flavor (default: each schedule's own "
+                             "choice; WAL-only fault features promote "
+                             "memory->wal and disk->wal-disk)")
+    add_worker_args(ap)
+    add_output_args(ap)
     return ap.parse_args(argv)
 
 
@@ -746,7 +823,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse_args(argv)
     if args.replay:
         sched = load_schedule(args.replay)
-        record = run_schedule(sched)
+        record = run_schedule(sched, engine=args.engine)
         print(json.dumps(record, indent=2, sort_keys=True, default=str))
         return 0 if record["verdict"] != "fail" else 1
 
@@ -758,11 +835,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seconds = args.seconds
     report = fuzz(max_schedules=budget, max_seconds=seconds,
                   seed=args.seed, corpus_dir=args.corpus, smoke=args.smoke,
-                  quiet=args.quiet, nprocs=args.nprocs)
+                  quiet=args.quiet, nprocs=args.nprocs,
+                  engine=args.engine, storage=args.storage,
+                  workers=None if args.inline else args.workers)
     if args.json:
-        with open(args.json, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
+        write_artifact(args.json, report, sort_keys=True,
+                       trailing_newline=True)
     print(f"\n{report['schedules_tried']} schedules in "
           f"{report['wall_seconds']}s; "
           f"coverage {report['window_coverage_pct']}% of required "

@@ -1,0 +1,297 @@
+"""Shared study-job core: one farming/CLI/emission seam for the studies.
+
+Every study harness in this package — the recovery campaign, the
+scaling sweep, the overlap/sizes/WAL studies, the shard differential,
+the fault fuzzer — has the same skeleton: enumerate a grid of
+independent *cells*, farm them through :func:`repro.harness.parallel.
+run_cells`, judge each result into a verdict row, stream per-cell
+progress, roll the rows up into a summary, and emit a machine-readable
+JSON artifact whose pass/fail decides the exit status.  Before this
+module each study re-implemented that skeleton (and its CLI flags)
+privately; now a study is a :class:`StudyJob` — a cell enumeration
+plus a row schema — and everything else is shared:
+
+* :func:`run_study` — the farming loop: cells through the pool,
+  ordered ``on_result`` streaming, :class:`~repro.harness.parallel.
+  CellError` results folded into failed rows, and an inline fallback
+  (with the cause recorded, never hidden) if the pool itself breaks.
+* ``add_*_arg`` helpers — the uniform CLI seam: every study entry
+  point accepts ``--engine`` / ``--storage`` / ``--workers`` (plus
+  ``--inline``, ``--json``, ``--seed``, ``-q``) with one shared
+  definition, layered over the ``REPRO_BENCH_WORKERS`` /
+  ``REPRO_ENGINE`` environment defaults.
+* :func:`open_store` — named stable-storage flavors ("memory",
+  "disk", "wal", "wal-disk") resolved to fresh-store factories, with
+  tmpdir lifecycle handled here instead of in each study.
+* :func:`write_artifact` / :func:`fail_exit` — JSON emission and the
+  failure exit, byte-compatible with what the studies wrote before
+  the port.
+
+The service layer (:mod:`repro.service`) builds on the same seam: a
+submitted job is a cell enumeration too, and its streaming progress
+API rides the same ``on_result`` callback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import traceback as _traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, Iterator, List, Optional, Sequence,
+)
+
+from .parallel import Cell, CellError, run_cells
+
+__all__ = [
+    "STORAGE_CHOICES", "StudyJob", "StudyReport",
+    "add_engine_arg", "add_output_args", "add_seed_arg",
+    "add_storage_arg", "add_worker_args", "fail_exit", "open_store",
+    "require_known", "run_study", "split_csv", "write_artifact",
+]
+
+#: the stable-storage flavors every study CLI accepts: the per-file
+#: scatter layout over in-memory or tmpdir-rooted real-file backends,
+#: or the log-structured WAL engine over the same two backends
+STORAGE_CHOICES = ("memory", "disk", "wal", "wal-disk")
+
+
+# ---------------------------------------------------------------------------
+# Storage seam
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def open_store(storage: Optional[str],
+               prefix: str = "repro-study-",
+               ) -> Iterator[Optional[Callable[[], Any]]]:
+    """Resolve a named storage flavor to a fresh-store factory.
+
+    Yields ``None`` for ``None``/``"memory"`` (the study's native
+    default backend) or a zero-argument factory producing a *fresh*
+    store per call — measurement pipelines open one store per phase
+    (golden / clean C3 / each restart), so the factory must never hand
+    the same instance out twice.  Disk-rooted flavors share one
+    temporary directory, removed when the context exits.
+    """
+    if storage in (None, "memory"):
+        yield None
+        return
+    if storage not in STORAGE_CHOICES:
+        raise ValueError(f"unknown storage backend {storage!r} "
+                         f"(known: {', '.join(STORAGE_CHOICES)})")
+    if storage == "wal":
+        from ..storage.stable import InMemoryStorage
+        from ..storage.wal import WalStore
+
+        yield lambda: WalStore(InMemoryStorage())
+        return
+    import shutil
+
+    from ..storage.stable import DiskStorage
+
+    root = tempfile.mkdtemp(prefix=prefix)
+    seq = iter(range(1 << 30))
+    try:
+        if storage == "disk":
+            yield lambda: DiskStorage(f"{root}/store{next(seq)}")
+        else:  # wal-disk
+            from ..storage.wal import WalStore
+
+            yield lambda: WalStore(DiskStorage(f"{root}/store{next(seq)}"))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# The job abstraction and the farming loop
+# ---------------------------------------------------------------------------
+
+class StudyJob:
+    """One study as data: a typed cell enumeration plus a row schema.
+
+    Subclasses enumerate their grid in :meth:`cells` (each cell a
+    picklable top-level callable with plain-data kwargs) and fold each
+    raw measurement into a judged row in :meth:`judge`.  Everything
+    else — pool farming, ordered streaming, worker-death containment,
+    the inline fallback — is :func:`run_study`'s job.
+    """
+
+    #: study name, used in progress and error reporting
+    name: str = "study"
+
+    def cells(self) -> List[Cell]:
+        raise NotImplementedError
+
+    def judge(self, index: int, cell: Cell, result: Any) -> Dict:
+        """Fold one cell's raw result into a verdict row (default: as-is)."""
+        return result
+
+    def error_row(self, index: int, cell: Cell, err: CellError) -> Dict:
+        """Row schema for a cell whose worker died twice (see parallel)."""
+        return {"cell": cell.label, "passed": False, "failure": err.error,
+                "traceback": err.traceback}
+
+
+@dataclass
+class StudyReport:
+    """All judged rows plus the harness-level roll-up."""
+
+    rows: List[Dict]
+    wall_seconds: float = 0.0
+    #: harness-level error (e.g. a pickling failure losing the whole
+    #: wave) that forced the affected cells onto the inline fallback —
+    #: the verdicts are still complete, but the cause must not be hidden
+    harness_error: Optional[str] = None
+
+    @property
+    def failures(self) -> List[Dict]:
+        return [r for r in self.rows if not r.get("passed", True)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_study(job: StudyJob, parallel: Optional[bool] = None,
+              max_workers: Optional[int] = None,
+              progress: Optional[Callable[[int, Dict], None]] = None,
+              ) -> StudyReport:
+    """Farm a job's cells through the pool and judge them in order.
+
+    ``progress(index, row)`` receives each judged row as it completes
+    (input order).  A cell whose worker process died (twice — see
+    :func:`~repro.harness.parallel.run_cells`) becomes a failed row via
+    :meth:`StudyJob.error_row`; a harness-level crash that loses the
+    whole wave (e.g. a pickling failure) drops the unjudged cells onto
+    an inline fallback and is surfaced as ``harness_error``.
+    """
+    cells = list(job.cells())
+    rows: List[Optional[Dict]] = [None] * len(cells)
+
+    def on_result(i: int, cell: Cell, result: Any) -> None:
+        if isinstance(result, CellError):
+            rows[i] = job.error_row(i, cell, result)
+        else:
+            rows[i] = job.judge(i, cell, result)
+        if progress is not None:
+            progress(i, rows[i])
+
+    t0 = time.time()
+    harness_error = None
+    try:
+        run_cells(cells, max_workers=max_workers, parallel=parallel,
+                  on_result=on_result)
+    except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+        harness_error = f"{type(exc).__name__}: {exc}"
+        for i, row in enumerate(rows):
+            if row is not None:
+                continue
+            try:
+                result: Any = cells[i].fn(**cells[i].kwargs)
+            except Exception as cell_exc:  # noqa: BLE001 - verdict row
+                result = CellError(
+                    label=cells[i].label,
+                    error=f"{type(cell_exc).__name__}: {cell_exc}",
+                    traceback=_traceback.format_exc())
+            on_result(i, cells[i], result)
+    return StudyReport(rows=[r for r in rows if r is not None],
+                       wall_seconds=time.time() - t0,
+                       harness_error=harness_error)
+
+
+# ---------------------------------------------------------------------------
+# The shared CLI seam
+# ---------------------------------------------------------------------------
+
+def add_engine_arg(ap: argparse.ArgumentParser,
+                   help: Optional[str] = None) -> None:  # noqa: A002
+    """``--engine``: the execution backend, uniform across studies."""
+    ap.add_argument("--engine",
+                    help=help or (
+                        "execution backend: cooperative, threads, or "
+                        "sharded[:N] for N forked node-shards (default: "
+                        "the cooperative scheduler, or REPRO_ENGINE)"))
+
+
+def add_storage_arg(ap: argparse.ArgumentParser,
+                    default: Optional[str] = None,
+                    help: Optional[str] = None) -> None:  # noqa: A002
+    """``--storage``: the stable-storage flavor, uniform across studies.
+
+    ``default=None`` keeps the study's native backend (documented per
+    study) so existing invocations stay byte-identical.
+    """
+    ap.add_argument("--storage", choices=list(STORAGE_CHOICES),
+                    default=default,
+                    help=help or (
+                        "stable-storage engine: scatter layout over "
+                        "in-memory or tmpdir-rooted real files, or the "
+                        "WAL engine over the same two backends "
+                        + (f"(default {default})" if default
+                           else "(default: the study's native backend)")))
+
+
+def add_worker_args(ap: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--inline``: the process-pool budget."""
+    ap.add_argument("--workers", type=int,
+                    help="process-pool size (default: REPRO_BENCH_WORKERS "
+                         "or cpu_count-1)")
+    ap.add_argument("--inline", action="store_true",
+                    help="run cells in this process (no pool)")
+
+
+def add_output_args(ap: argparse.ArgumentParser, quiet: bool = True) -> None:
+    """``--json`` (and ``-q``): artifact emission and progress volume."""
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the machine-readable report here")
+    if quiet:
+        ap.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+
+
+def add_seed_arg(ap: argparse.ArgumentParser, default: int = 0,
+                 help: Optional[str] = None) -> None:  # noqa: A002
+    ap.add_argument("--seed", type=int, default=default,
+                    help=help or f"RNG seed (default {default})")
+
+
+def split_csv(value: Optional[str],
+              default: Sequence[str]) -> List[str]:
+    """A comma-separated CLI value, or the default selection."""
+    return value.split(",") if value else list(default)
+
+
+def require_known(values: Sequence[str], known, what: str) -> Optional[int]:
+    """The standard unknown-selection exit: returns 2 to hand back from
+    ``main``, or ``None`` when every value is known."""
+    unknown = [v for v in values if v not in known]
+    if unknown:
+        print(f"unknown {what}: {unknown}; have {sorted(known)}",
+              file=sys.stderr)
+        return 2
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+def write_artifact(path: str, payload: Dict, sort_keys: bool = False,
+                   trailing_newline: bool = False) -> None:
+    """Write the machine-readable study report (stable JSON layout)."""
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=sort_keys, default=str)
+        if trailing_newline:
+            f.write("\n")
+    print(f"wrote {path}")
+
+
+def fail_exit(labels: Sequence[str], what: str = "cells") -> int:
+    """Print the standard failure roster to stderr; returns exit 1."""
+    print(f"FAILED {what}:", ", ".join(labels), file=sys.stderr)
+    return 1

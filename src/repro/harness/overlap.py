@@ -39,18 +39,23 @@ Command line::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..mpi.timemodel import MACHINES
+from .jobs import (
+    add_engine_arg, add_output_args, add_storage_arg, add_worker_args,
+    fail_exit, open_store, require_known, write_artifact,
+)
+from .parallel import Cell, CellError, run_cells
 from .runner import measure_c3, measure_recovery
 from .report import render_table
 
 __all__ = [
     "OVERLAP_KERNELS", "OVERLAP_PLATFORMS", "fault_rows", "main",
-    "overhead_rows", "render_overlap",
+    "measure_fault_cell", "measure_overhead_cell", "overhead_rows",
+    "render_overlap",
 ]
 
 #: the three platform models of the evaluation (Tables 4-5)
@@ -76,45 +81,93 @@ FAULT_KILLS: Dict[str, List[dict]] = {
 }
 
 
+def measure_overhead_cell(platform: str, kernel: str, nprocs: int = 4,
+                          engine: Optional[str] = None,
+                          storage: Optional[str] = None) -> Dict:
+    """Top-level (picklable) cell body: one gate-judged overhead row."""
+    machine = MACHINES[platform]
+    params = OVERLAP_KERNELS[kernel]
+    with open_store(storage, prefix="repro-overlap-") as factory:
+        def store():
+            return factory() if factory is not None else None
+
+        cfg1 = measure_c3(kernel, nprocs, machine, params, checkpoints=0,
+                          engine=engine, storage=store())
+        common = dict(checkpoints=1,
+                      reference_time=cfg1.virtual_seconds,
+                      engine=engine)
+        cfg2 = measure_c3(kernel, nprocs, machine, params,
+                          save_to_disk=False, storage=store(), **common)
+        cfg3 = measure_c3(kernel, nprocs, machine, params,
+                          save_to_disk=True, storage=store(), **common)
+        ovl = measure_c3(kernel, nprocs, machine, params,
+                         save_to_disk=True, overlap=True, storage=store(),
+                         **common)
+    row = {
+        "platform": platform,
+        "kernel": kernel,
+        "nprocs": nprocs,
+        "cfg1_s": cfg1.virtual_seconds,
+        "cfg2_s": cfg2.virtual_seconds,
+        "cfg3_s": cfg3.virtual_seconds,
+        "overlap_s": ovl.virtual_seconds,
+        "cfg2_cost_s": cfg2.virtual_seconds - cfg1.virtual_seconds,
+        "inline_cost_s": cfg3.virtual_seconds - cfg1.virtual_seconds,
+        "overlap_cost_s": ovl.virtual_seconds - cfg1.virtual_seconds,
+        "committed_inline": cfg3.checkpoints_committed,
+        "committed_overlap": ovl.checkpoints_committed,
+    }
+    if storage is not None:
+        row["storage"] = storage
+    row["failure"] = _judge_overhead(row)
+    row["passed"] = row["failure"] is None
+    return row
+
+
+#: metric keys nulled out in the row of a cell whose worker died
+_OVERHEAD_METRICS = ("cfg1_s", "cfg2_s", "cfg3_s", "overlap_s",
+                     "cfg2_cost_s", "inline_cost_s", "overlap_cost_s",
+                     "committed_inline", "committed_overlap")
+
+
+def _dead_row(err: CellError, metrics: Sequence[str], **identity) -> Dict:
+    """A failed row for a cell whose worker process died (see parallel)."""
+    row = dict.fromkeys(metrics)
+    row.update(identity)
+    row["failure"] = err.error
+    row["passed"] = False
+    return row
+
+
 def overhead_rows(platforms: Sequence[str] = OVERLAP_PLATFORMS,
                   kernels: Optional[Sequence[str]] = None,
                   nprocs: int = 4,
-                  engine: Optional[str] = None) -> List[Dict]:
-    """One gate-judged row per (platform, kernel) cell."""
+                  engine: Optional[str] = None,
+                  parallel: Optional[bool] = None,
+                  max_workers: Optional[int] = None,
+                  storage: Optional[str] = None,
+                  on_row: Optional[Callable[[Dict], None]] = None,
+                  ) -> List[Dict]:
+    """One gate-judged row per (platform, kernel) cell, pool-farmed."""
     names = list(kernels) if kernels else sorted(OVERLAP_KERNELS)
-    rows = []
-    for platform in platforms:
-        machine = MACHINES[platform]
-        for name in names:
-            params = OVERLAP_KERNELS[name]
-            cfg1 = measure_c3(name, nprocs, machine, params, checkpoints=0,
-                              engine=engine)
-            common = dict(checkpoints=1,
-                          reference_time=cfg1.virtual_seconds,
-                          engine=engine)
-            cfg2 = measure_c3(name, nprocs, machine, params,
-                              save_to_disk=False, **common)
-            cfg3 = measure_c3(name, nprocs, machine, params,
-                              save_to_disk=True, **common)
-            ovl = measure_c3(name, nprocs, machine, params,
-                             save_to_disk=True, overlap=True, **common)
-            row = {
-                "platform": platform,
-                "kernel": name,
-                "nprocs": nprocs,
-                "cfg1_s": cfg1.virtual_seconds,
-                "cfg2_s": cfg2.virtual_seconds,
-                "cfg3_s": cfg3.virtual_seconds,
-                "overlap_s": ovl.virtual_seconds,
-                "cfg2_cost_s": cfg2.virtual_seconds - cfg1.virtual_seconds,
-                "inline_cost_s": cfg3.virtual_seconds - cfg1.virtual_seconds,
-                "overlap_cost_s": ovl.virtual_seconds - cfg1.virtual_seconds,
-                "committed_inline": cfg3.checkpoints_committed,
-                "committed_overlap": ovl.checkpoints_committed,
-            }
-            row["failure"] = _judge_overhead(row)
-            row["passed"] = row["failure"] is None
-            rows.append(row)
+    cells = [Cell(measure_overhead_cell,
+                  dict(platform=platform, kernel=name, nprocs=nprocs,
+                       engine=engine, storage=storage),
+                  label=f"overlap:{platform}/{name}")
+             for platform in platforms for name in names]
+    rows: List[Dict] = []
+
+    def on_result(_i: int, cell: Cell, result) -> None:
+        if isinstance(result, CellError):
+            result = _dead_row(result, _OVERHEAD_METRICS,
+                               platform=cell.kwargs["platform"],
+                               kernel=cell.kwargs["kernel"], nprocs=nprocs)
+        rows.append(result)
+        if on_row is not None:
+            on_row(result)
+
+    run_cells(cells, parallel=parallel, max_workers=max_workers,
+              on_result=on_result)
     return rows
 
 
@@ -129,26 +182,51 @@ def _judge_overhead(row: Dict) -> Optional[str]:
     return None
 
 
+def measure_fault_cell(platform: str, kill: str, nprocs: int = 4,
+                       engine: Optional[str] = None) -> Dict:
+    """Top-level (picklable) cell body: one torn-line recovery row."""
+    machine = MACHINES[platform]
+    record = measure_recovery(
+        "heat", nprocs, machine, OVERLAP_KERNELS["heat"],
+        [dict(k) for k in FAULT_KILLS[kill]], interval_frac=0.18,
+        engine=engine)
+    row = {
+        "platform": platform,
+        "kill": kill,
+        **record,
+    }
+    row["failure"] = _judge_fault(row)
+    row["passed"] = row["failure"] is None
+    return row
+
+
 def fault_rows(platforms: Sequence[str] = OVERLAP_PLATFORMS,
-               nprocs: int = 4, engine: Optional[str] = None) -> List[Dict]:
+               nprocs: int = 4, engine: Optional[str] = None,
+               parallel: Optional[bool] = None,
+               max_workers: Optional[int] = None,
+               on_row: Optional[Callable[[Dict], None]] = None,
+               ) -> List[Dict]:
     """Kill-mid-drain / kill-mid-commit recovery cells, gate-judged."""
-    rows = []
-    params = OVERLAP_KERNELS["heat"]
-    for platform in platforms:
-        machine = MACHINES[platform]
-        for kill_name, kills in FAULT_KILLS.items():
-            record = measure_recovery(
-                "heat", nprocs, machine, params,
-                [dict(k) for k in kills], interval_frac=0.18,
-                engine=engine)
-            row = {
-                "platform": platform,
-                "kill": kill_name,
-                **record,
-            }
-            row["failure"] = _judge_fault(row)
-            row["passed"] = row["failure"] is None
-            rows.append(row)
+    cells = [Cell(measure_fault_cell,
+                  dict(platform=platform, kill=kill_name, nprocs=nprocs,
+                       engine=engine),
+                  label=f"overlap-fault:{platform}/{kill_name}")
+             for platform in platforms for kill_name in FAULT_KILLS]
+    rows: List[Dict] = []
+
+    def on_result(_i: int, cell: Cell, result) -> None:
+        if isinstance(result, CellError):
+            result = _dead_row(result,
+                               ("restarts", "restored_version",
+                                "checkpoints_committed", "lines_retained"),
+                               platform=cell.kwargs["platform"],
+                               kill=cell.kwargs["kill"])
+        rows.append(result)
+        if on_row is not None:
+            on_row(result)
+
+    run_cells(cells, parallel=parallel, max_workers=max_workers,
+              on_result=on_result)
     return rows
 
 
@@ -170,15 +248,19 @@ def _judge_fault(row: Dict) -> Optional[str]:
     return None
 
 
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else seconds * 1e3
+
+
 def render_overlap(rows: Sequence[Dict]) -> str:
     """Paper-layout text table of the overhead cells (virtual ms)."""
     table_rows = []
     for r in rows:
         table_rows.append([
             r["platform"], r["kernel"], "PASS" if r["passed"] else "FAIL",
-            r["cfg1_s"] * 1e3, r["cfg2_s"] * 1e3, r["cfg3_s"] * 1e3,
-            r["overlap_s"] * 1e3,
-            r["inline_cost_s"] * 1e3, r["overlap_cost_s"] * 1e3,
+            _ms(r["cfg1_s"]), _ms(r["cfg2_s"]), _ms(r["cfg3_s"]),
+            _ms(r["overlap_s"]),
+            _ms(r["inline_cost_s"]), _ms(r["overlap_cost_s"]),
         ])
     return render_table(
         "Overlapped write-back vs in-line commit (Tables 4-5 extension; "
@@ -228,14 +310,12 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                          f"(default: {', '.join(sorted(OVERLAP_KERNELS))})")
     ap.add_argument("--nprocs", type=int, default=4,
                     help="simulated ranks per run (default 4)")
-    ap.add_argument("--engine", choices=["cooperative", "threads"],
-                    help="execution backend (default: cooperative)")
+    add_engine_arg(ap)
+    add_storage_arg(ap)
     ap.add_argument("--skip-faults", action="store_true",
                     help="overhead cells only (no kill/restart slice)")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
-    ap.add_argument("-q", "--quiet", action="store_true",
-                    help="suppress per-cell progress lines")
+    add_worker_args(ap)
+    add_output_args(ap)
     return ap.parse_args(argv)
 
 
@@ -244,38 +324,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     platforms = (args.platforms.split(",") if args.platforms
                  else list(OVERLAP_PLATFORMS))
     kernels = args.kernels.split(",") if args.kernels else None
-    unknown = [p for p in platforms if p not in MACHINES]
-    if unknown:
-        print(f"unknown platforms: {unknown}; have {sorted(MACHINES)}",
-              file=sys.stderr)
-        return 2
-    if kernels:
-        unknown = [k for k in kernels if k not in OVERLAP_KERNELS]
-        if unknown:
-            print(f"unknown kernels: {unknown}; "
-                  f"have {sorted(OVERLAP_KERNELS)}", file=sys.stderr)
-            return 2
+    rc = require_known(platforms, MACHINES, "platforms")
+    if rc is None and kernels:
+        rc = require_known(kernels, OVERLAP_KERNELS, "kernels")
+    if rc:
+        return rc
+
+    def show_overhead(r: Dict) -> None:
+        if args.quiet:
+            return
+        verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
+        costs = ("" if r["inline_cost_s"] is None else
+                 f": inline={r['inline_cost_s'] * 1e3:.3f}ms "
+                 f"overlap={r['overlap_cost_s'] * 1e3:.3f}ms")
+        print(f"{verdict} {r['platform']}/{r['kernel']}{costs}", flush=True)
+
+    def show_fault(r: Dict) -> None:
+        if args.quiet:
+            return
+        verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
+        print(f"{verdict} {r['platform']}/{r['kill']}: "
+              f"restored=v{r.get('restored_version')} "
+              f"held={r.get('lines_retained')}", flush=True)
 
     t0 = time.time()
+    parallel = False if args.inline else None
     o_rows = overhead_rows(platforms, kernels, nprocs=args.nprocs,
-                           engine=args.engine)
-    if not args.quiet:
-        for r in o_rows:
-            verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
-            print(f"{verdict} {r['platform']}/{r['kernel']}: "
-                  f"inline={r['inline_cost_s'] * 1e3:.3f}ms "
-                  f"overlap={r['overlap_cost_s'] * 1e3:.3f}ms", flush=True)
+                           engine=args.engine, storage=args.storage,
+                           parallel=parallel, max_workers=args.workers,
+                           on_row=show_overhead)
     f_rows = []
     if not args.skip_faults:
         f_rows = fault_rows(platforms, nprocs=args.nprocs,
-                            engine=args.engine)
-        if not args.quiet:
-            for r in f_rows:
-                verdict = ("PASS" if r["passed"]
-                           else f"FAIL ({r['failure']})")
-                print(f"{verdict} {r['platform']}/{r['kill']}: "
-                      f"restored=v{r.get('restored_version')} "
-                      f"held={r.get('lines_retained')}", flush=True)
+                            engine=args.engine, parallel=parallel,
+                            max_workers=args.workers, on_row=show_fault)
     wall = time.time() - t0
 
     print()
@@ -297,13 +379,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"\n{summary['passed']}/{len(o_rows) + len(f_rows)} cells within "
           f"the overlap gates ({wall:.1f}s wall)")
     if args.json:
-        with open(args.json, "w") as f:
-            json.dump({"summary": summary, "overhead": o_rows,
-                       "faults": f_rows}, f, indent=2, default=str)
-        print(f"wrote {args.json}")
+        write_artifact(args.json, {"summary": summary, "overhead": o_rows,
+                                   "faults": f_rows})
     if failures:
-        print("FAILED cells:", ", ".join(failures), file=sys.stderr)
-        return 1
+        return fail_exit(failures)
     return 0
 
 

@@ -20,17 +20,28 @@ Worker count resolution, in priority order:
 
 ``REPRO_BENCH_WORKERS=1`` (or ``parallel=False``) forces inline
 execution, which keeps unit tests and debugging single-process.
+
+**Worker death** (a cell calling ``os._exit``, a SIGKILL, an
+interpreter abort) poisons the whole pool: every in-flight future
+raises ``BrokenProcessPool``, which used to escape the study and
+discard the verdicts of unrelated cells.  ``run_cells`` now contains
+the blast radius — each cell hit by a pool break is retried once on a
+fresh pool, *alone*, so a crash-on-retry identifies the killer cell
+precisely; a cell that breaks the pool twice is reported as a
+:class:`CellError` result (carrying the harness-side traceback) in its
+input-order slot, and every other cell still gets its real result.
 """
 
 from __future__ import annotations
 
 import os
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-__all__ = ["Cell", "default_workers", "run_cells"]
+__all__ = ["Cell", "CellError", "default_workers", "run_cells"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,22 @@ def default_workers() -> int:
                 f"REPRO_BENCH_WORKERS must be an integer, got {env!r}"
             ) from None
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Result slot for a cell whose pool worker died.
+
+    Returned (never raised) by :func:`run_cells` when a cell broke its
+    worker process twice — once in the shared pool and once more alone
+    on a fresh pool.  Studies treat it as a failed row; ``traceback``
+    holds the harness-side trace of the ``BrokenProcessPool`` (a worker
+    killed by ``os._exit``/SIGKILL leaves no in-worker traceback).
+    """
+
+    label: str
+    error: str
+    traceback: str
 
 
 def _run_cell(cell: Cell) -> Any:
@@ -83,6 +110,53 @@ def _shared_pool(workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
+def _drop_pool() -> None:
+    """Discard a poisoned pool so the next wave gets fresh workers."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False)
+        _pool = None
+
+
+def _submit(workers: int, cell: Cell):
+    """Submit to the shared pool, replacing it if it arrives broken.
+
+    ``submit`` raises ``BrokenProcessPool`` synchronously when a
+    previous wave's killer cell (or an earlier cell of this wave,
+    racing this submission) already poisoned the executor; a fresh
+    pool cannot be born broken, so one rebuild suffices.
+    """
+    try:
+        return _shared_pool(workers).submit(_run_cell, cell)
+    except BrokenProcessPool:
+        _drop_pool()
+        return _shared_pool(workers).submit(_run_cell, cell)
+
+
+def _retry_alone(cell: Cell, first: BaseException) -> Any:
+    """Re-run one crash-suspect cell alone on a fresh single-cell pool.
+
+    A ``BrokenProcessPool`` names no culprit: the killer cell and every
+    innocent cell sharing its workers all fail identically.  Re-running
+    the suspect in isolation disambiguates — an innocent cell succeeds
+    and keeps its real result; the killer breaks its private pool again
+    and is reported as a :class:`CellError`.
+    """
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        return pool.submit(_run_cell, cell).result()
+    except BrokenProcessPool as exc:
+        return CellError(
+            label=cell.label or getattr(cell.fn, "__name__", "<cell>"),
+            error=(f"worker process died running cell "
+                   f"{cell.label or cell.fn.__name__!r} (twice: in the "
+                   f"shared pool [{first}] and alone on retry [{exc}])"),
+            traceback=_traceback.format_exc(),
+        )
+    finally:
+        pool.shutdown(wait=False)
+
+
 def run_cells(cells: Iterable[Cell], max_workers: Optional[int] = None,
               parallel: Optional[bool] = None,
               on_result: Optional[Callable[[int, Cell, Any], None]] = None,
@@ -97,6 +171,14 @@ def run_cells(cells: Iterable[Cell], max_workers: Optional[int] = None,
     order as each cell's result becomes available — long sweeps (the
     recovery campaign, table grids) use it for streaming progress
     reporting without waiting for the whole wave.
+
+    A cell whose worker process dies (``os._exit``, SIGKILL, an
+    interpreter abort) is retried once alone on a fresh pool; if it
+    kills that worker too, its result slot holds a :class:`CellError`
+    instead of a value, and the remaining cells are resubmitted to a
+    fresh pool — a single bad cell can no longer take down the study.
+    Ordinary in-cell exceptions still propagate as ``RuntimeError``
+    with the cell label attached.
     """
     cells = list(cells)
     # The pool is sized by the worker budget alone (not by len(cells)):
@@ -114,13 +196,20 @@ def run_cells(cells: Iterable[Cell], max_workers: Optional[int] = None,
                 on_result(i, c, result)
             results.append(result)
         return results
-    global _pool
-    try:
-        for i, result in enumerate(_shared_pool(workers).map(_run_cell, cells)):
-            if on_result is not None:
-                on_result(i, cells[i], result)
-            results.append(result)
-        return results
-    except BrokenProcessPool:
-        _pool = None  # a hard worker crash poisons the pool; drop it
-        raise
+    futures = [_submit(workers, c) for c in cells]
+    for i, c in enumerate(cells):
+        try:
+            result = futures[i].result()
+        except BrokenProcessPool as exc:
+            # This cell's worker (or a sibling's) died.  Drop the
+            # poisoned pool, re-run the suspect alone, and resubmit the
+            # not-yet-consumed cells to a fresh shared pool.
+            _drop_pool()
+            result = _retry_alone(c, exc)
+            for j in range(i + 1, len(cells)):
+                if not futures[j].done() or futures[j].exception() is not None:
+                    futures[j] = _submit(workers, cells[j])
+        if on_result is not None:
+            on_result(i, c, result)
+        results.append(result)
+    return results

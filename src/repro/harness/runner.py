@@ -71,7 +71,8 @@ def measure_c3(app_name: str, nprocs: int, machine: MachineModel,
                interval_fraction: float = 0.45,
                reference_time: Optional[float] = None,
                wall_timeout: float = 240.0,
-               engine: Optional[str] = None) -> ModeResult:
+               engine: Optional[str] = None,
+               storage=None) -> ModeResult:
     """A C3 run: ``checkpoints == 0`` is configuration #1, otherwise one
     (or more) timer-initiated checkpoints — #2 with ``save_to_disk=False``,
     #3 with True.  ``overlap=True`` is the *overlapped* configuration of
@@ -87,9 +88,10 @@ def measure_c3(app_name: str, nprocs: int, machine: MachineModel,
                       save_to_disk=save_to_disk, overlap=overlap,
                       max_checkpoints=checkpoints or None)
     # storage=None: the production engine (a WAL over in-memory storage),
-    # so every table measurement exercises group commit and segment GC
+    # so every table measurement exercises group commit and segment GC;
+    # the study CLIs' --storage seam passes an explicit store instead
     result, stats = run_c3(_with_params(app_name, params), nprocs,
-                           machine=machine, storage=None, config=config,
+                           machine=machine, storage=storage, config=config,
                            wall_timeout=wall_timeout, engine=engine)
     result.raise_errors()
     st = [s for s in stats if s is not None]

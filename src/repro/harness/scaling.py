@@ -36,13 +36,16 @@ sweep configuration, and is uploaded by the ``scaling-smoke`` CI job as
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..mpi.engine import resolve_backend
 from ..mpi.timemodel import MACHINES
+from .jobs import (
+    add_engine_arg, add_output_args, add_storage_arg, add_worker_args,
+    open_store, require_known, write_artifact,
+)
 from .parallel import Cell, run_cells
 from .report import render_table
 from .runner import measure_c3, measure_original
@@ -79,17 +82,25 @@ DEFAULT_TOLERANCE_PCT = 5.0
 
 def measure_scaling_point(app_name: str, nprocs: int, platform: str,
                           params: dict, engine: Optional[str] = None,
-                          wall_timeout: float = 240.0) -> Dict:
-    """One sweep cell: original vs. C3-without-checkpoints at one scale."""
+                          wall_timeout: float = 240.0,
+                          storage: Optional[str] = None) -> Dict:
+    """One sweep cell: original vs. C3-without-checkpoints at one scale.
+
+    ``storage`` names a stable-storage flavor from the shared CLI seam
+    (:data:`repro.harness.jobs.STORAGE_CHOICES`); ``None`` keeps the
+    production default (WAL over in-memory storage).
+    """
     machine = MACHINES[platform]
     t0 = time.time()
-    orig = measure_original(app_name, nprocs, machine, params,
-                            wall_timeout=wall_timeout, engine=engine)
-    c3 = measure_c3(app_name, nprocs, machine, params, checkpoints=0,
-                    wall_timeout=wall_timeout, engine=engine)
+    with open_store(storage, prefix="repro-scaling-") as factory:
+        orig = measure_original(app_name, nprocs, machine, params,
+                                wall_timeout=wall_timeout, engine=engine)
+        c3 = measure_c3(app_name, nprocs, machine, params, checkpoints=0,
+                        wall_timeout=wall_timeout, engine=engine,
+                        storage=factory() if factory is not None else None)
     overhead = ((c3.virtual_seconds - orig.virtual_seconds)
                 / orig.virtual_seconds * 100.0)
-    return {
+    row = {
         "app": app_name,
         "platform": platform,
         "nprocs": nprocs,
@@ -100,6 +111,9 @@ def measure_scaling_point(app_name: str, nprocs: int, platform: str,
         "app_sends": c3.app_sends,
         "wall_seconds": time.time() - t0,
     }
+    if storage is not None:
+        row["storage"] = storage
+    return row
 
 
 def scaling_cell(app_name: str, nprocs: int, platform: str, params: dict,
@@ -116,15 +130,19 @@ def scaling_rows(ranks: Sequence[int] = SCALING_RANKS,
                  platforms: Sequence[str] = SCALING_PLATFORMS,
                  engine: Optional[str] = None,
                  parallel: Optional[bool] = None,
+                 max_workers: Optional[int] = None,
+                 storage: Optional[str] = None,
                  wall_timeout: float = 240.0) -> List[Dict]:
     """The full sweep: platforms x apps x rank counts, pool-farmed."""
     apps = apps if apps is not None else SCALING_APPS
+    extra = {} if storage is None else {"storage": storage}
     cells = [scaling_cell(app, n, platform, params, engine=engine,
-                          wall_timeout=wall_timeout)
+                          wall_timeout=wall_timeout, **extra)
              for platform in platforms
              for app, params in apps.items()
              for n in ranks]
-    return list(run_cells(cells, parallel=parallel))
+    return list(run_cells(cells, parallel=parallel,
+                          max_workers=max_workers))
 
 
 def check_flatness(rows: Sequence[Dict],
@@ -189,9 +207,8 @@ def render_scaling(rows: Sequence[Dict]) -> str:
 def write_report(path: str, rows: Sequence[Dict], violations: Sequence[str],
                  config: Dict) -> None:
     """Write the machine-readable sweep report (``BENCH_scaling.json``)."""
-    with open(path, "w") as f:
-        json.dump({"config": config, "violations": list(violations),
-                   "rows": list(rows)}, f, indent=2, default=str)
+    write_artifact(path, {"config": config, "violations": list(violations),
+                          "rows": list(rows)})
 
 
 # ---------------------------------------------------------------------------
@@ -213,51 +230,48 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     ap.add_argument("--platforms", default=",".join(SCALING_PLATFORMS),
                     help="comma-separated machine models "
                          f"(default {','.join(SCALING_PLATFORMS)})")
-    ap.add_argument("--engine",
-                    help="execution backend: cooperative, threads, or "
-                         "sharded[:N] for N forked node-shards (default: "
-                         "the cooperative scheduler, or REPRO_ENGINE)")
+    add_engine_arg(ap)
+    add_storage_arg(ap)
     ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE_PCT,
                     help="flatness tolerance in percentage points "
                          f"(default {DEFAULT_TOLERANCE_PCT})")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
-    ap.add_argument("--inline", action="store_true",
-                    help="run cells in this process (no pool)")
+    add_worker_args(ap)
+    add_output_args(ap, quiet=False)
     return ap.parse_args(argv)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse_args(argv)
     ranks = tuple(int(r) for r in args.ranks.split(","))
-    unknown = [a for a in args.apps.split(",") if a not in SCALING_APPS]
-    if unknown:
-        raise SystemExit(f"unknown scaling apps: {unknown}; "
-                         f"known: {sorted(SCALING_APPS)}")
+    rc = require_known(args.apps.split(","), SCALING_APPS, "scaling apps")
+    if rc:
+        return rc
     apps = {a: SCALING_APPS[a] for a in args.apps.split(",")}
     platforms = tuple(args.platforms.split(","))
-    unknown = [p for p in platforms if p not in MACHINES]
-    if unknown:
-        raise SystemExit(f"unknown platforms: {unknown}; "
-                         f"known: {sorted(MACHINES)}")
+    rc = require_known(platforms, MACHINES, "platforms")
+    if rc:
+        return rc
 
     t0 = time.time()
     rows = scaling_rows(ranks=ranks, apps=apps, platforms=platforms,
-                        engine=args.engine,
-                        parallel=False if args.inline else None)
+                        engine=args.engine, storage=args.storage,
+                        parallel=False if args.inline else None,
+                        max_workers=args.workers)
     violations = check_flatness(rows, tolerance_pct=args.tolerance)
     print(render_scaling(rows))
     print(f"\n{len(rows)} sweep cells in {time.time() - t0:.1f}s wall "
           f"(engine={resolve_backend(args.engine)}, "
           f"ranks {min(ranks)}->{max(ranks)})")
     if args.json:
-        write_report(args.json, rows, violations, {
+        config = {
             "ranks": list(ranks), "apps": sorted(apps),
             "platforms": list(platforms),
             "engine": resolve_backend(args.engine),
             "tolerance_pct": args.tolerance,
-        })
-        print(f"wrote {args.json}")
+        }
+        if args.storage is not None:
+            config["storage"] = args.storage
+        write_report(args.json, rows, violations, config)
     if violations:
         print("FLATNESS VIOLATIONS:", file=sys.stderr)
         for v in violations:

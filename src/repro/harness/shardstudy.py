@@ -44,7 +44,7 @@ Command line::
 from __future__ import annotations
 
 import argparse
-import json
+import dataclasses
 import math
 import os
 import sys
@@ -52,6 +52,10 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from .campaign import full_matrix, run_campaign, smoke_matrix
+from .jobs import (
+    add_engine_arg, add_output_args, add_storage_arg, add_worker_args,
+    write_artifact,
+)
 from .scaling import measure_scaling_point
 
 __all__ = [
@@ -169,43 +173,62 @@ def diff_rows(label: str, rc: Dict, rs: Dict,
 
 def scale_smoke(nprocs: int, shards: int, platform: str = "lemieux",
                 app: str = "ring", params: Optional[dict] = None,
-                wall_timeout: float = 600.0) -> Dict:
-    """One large-rank scaling point on the sharded engine."""
+                wall_timeout: float = 600.0,
+                engine: Optional[str] = None,
+                storage: Optional[str] = None) -> Dict:
+    """One large-rank scaling point on the engine under study."""
     params = params if params is not None else dict(payload=16, niter=4,
                                                    work=0.1)
     return measure_scaling_point(app, nprocs, platform, params,
-                                 engine=f"sharded:{shards}",
-                                 wall_timeout=wall_timeout)
+                                 engine=engine or f"sharded:{shards}",
+                                 wall_timeout=wall_timeout,
+                                 storage=storage)
 
 
 def run_study(shards: int = 4, matrix: str = "smoke", nprocs: int = 4,
               scale_ranks: int = 4096, scale_shards: Optional[int] = None,
-              rtol: float = 2e-2, progress=None) -> Dict:
-    """The full study; returns the ``BENCH_shard.json`` payload."""
+              rtol: float = 2e-2, engine: Optional[str] = None,
+              storage: Optional[str] = None,
+              parallel: Optional[bool] = False,
+              max_workers: Optional[int] = None, progress=None) -> Dict:
+    """The full study; returns the ``BENCH_shard.json`` payload.
+
+    ``engine`` overrides the engine compared against cooperative
+    (default ``sharded:<shards>``); ``storage`` forces a stable-storage
+    flavor on both campaign passes and the scaling point (default: the
+    scenarios' native backends).  ``parallel`` defaults to ``False``
+    because the wall-clock comparison only isolates the engine when
+    both campaign passes run inline.
+    """
+    study_engine = engine or f"sharded:{shards}"
     scenarios = (full_matrix(nprocs=nprocs) if matrix == "full"
                  else smoke_matrix(nprocs=nprocs))
+    if storage is not None:
+        scenarios = [dataclasses.replace(s, storage=storage)
+                     for s in scenarios]
 
-    point = scale_smoke(scale_ranks, scale_shards or shards)
+    point = scale_smoke(scale_ranks, scale_shards or shards,
+                        engine=engine, storage=storage)
 
     runs = {}
-    for engine in (None, f"sharded:{shards}"):
-        name = engine or "cooperative"
+    for eng in (None, study_engine):
+        name = eng or "cooperative"
         if progress:
             progress(f"campaign[{name}]: {len(scenarios)} cells")
-        import dataclasses
-        cells = [dataclasses.replace(s, engine=engine) for s in scenarios]
-        report = run_campaign(cells, parallel=False)
+        cells = [dataclasses.replace(s, engine=eng) for s in scenarios]
+        report = run_campaign(cells, parallel=parallel,
+                              max_workers=max_workers)
         runs[name] = report
 
     coop = runs["cooperative"]
-    shard = runs[f"sharded:{shards}"]
+    shard = runs[study_engine]
     mismatches: List[str] = []
     for rc, rs in zip(coop.rows, shard.rows):
         mismatches.extend(diff_rows(rc["scenario"], rc, rs, rtol=rtol))
 
     speedup = (coop.wall_seconds / shard.wall_seconds
                if shard.wall_seconds else float("inf"))
-    return {
+    report = {
         "shards": shards,
         "matrix": matrix,
         "cells": len(scenarios),
@@ -213,7 +236,7 @@ def run_study(shards: int = 4, matrix: str = "smoke", nprocs: int = 4,
         "scaling_point": point,
         "campaign_wall_seconds": {
             "cooperative": coop.wall_seconds,
-            f"sharded:{shards}": shard.wall_seconds,
+            study_engine: shard.wall_seconds,
         },
         "speedup": speedup,
         "cooperative_ok": coop.ok,
@@ -222,9 +245,14 @@ def run_study(shards: int = 4, matrix: str = "smoke", nprocs: int = 4,
         "mismatches": mismatches,
         "summary": {
             "cooperative": coop.summary(),
-            f"sharded:{shards}": shard.summary(),
+            study_engine: shard.summary(),
         },
     }
+    if engine is not None:
+        report["engine"] = study_engine
+    if storage is not None:
+        report["storage"] = storage
+    return report
 
 
 def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
@@ -250,17 +278,31 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                     help="exit 1 unless sharded campaign wall is at "
                          "least X times faster than cooperative; refused "
                          "when the machine has fewer cores than shards")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
+    add_engine_arg(ap, help="engine compared against cooperative: "
+                            "threads or sharded[:N] (default: "
+                            "sharded:<--shards>)")
+    add_storage_arg(ap, help="stable-storage flavor forced on both "
+                             "campaign passes and the scaling point "
+                             "(default: the scenarios' native backends)")
+    add_worker_args(ap)
+    add_output_args(ap, quiet=False)
     return ap.parse_args(argv)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse_args(argv)
+    farm = args.workers is not None and not args.inline
+    if args.require_speedup is not None and farm:
+        print("refusing --require-speedup with --workers: pool-farmed "
+              "campaign passes do not isolate the engine", file=sys.stderr)
+        return 2
     t0 = time.time()
     report = run_study(shards=args.shards, matrix=args.matrix,
                        nprocs=args.nprocs, scale_ranks=args.scale_ranks,
-                       rtol=args.rtol,
+                       rtol=args.rtol, engine=args.engine,
+                       storage=args.storage,
+                       parallel=True if farm else False,
+                       max_workers=args.workers,
                        progress=lambda msg: print(msg, flush=True))
     report["wall_seconds"] = time.time() - t0
 
@@ -280,9 +322,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  MISMATCH {m}", file=sys.stderr)
 
     if args.json:
-        with open(args.json, "w") as f:
-            json.dump(report, f, indent=2, default=str)
-        print(f"wrote {args.json}")
+        write_artifact(args.json, report)
 
     ok = (report["cells_match"] and report["cooperative_ok"]
           and report["sharded_ok"])

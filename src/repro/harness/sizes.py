@@ -44,7 +44,6 @@ Command line::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
@@ -58,6 +57,11 @@ from ..mpi.timemodel import LINUX_UNIPROC, MachineModel, SOLARIS_UNIPROC
 from ..statesave.serializer import dumps
 from ..storage.stable import InMemoryStorage
 from ..storage.wal import WalStore
+from .jobs import (
+    add_engine_arg, add_output_args, add_storage_arg, add_worker_args,
+    fail_exit, require_known, write_artifact,
+)
+from .parallel import Cell, CellError, run_cells
 from .platforms import SIZE_SCALE
 from .report import render_table
 
@@ -127,11 +131,16 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
                          interval_frac: float = 0.3,
                          churn_blocks: int = 6,
                          wall_timeout: float = 120.0,
-                         engine: Optional[str] = None) -> Dict:
+                         engine: Optional[str] = None,
+                         storage: Optional[str] = None) -> Dict:
     """All four size measurements for one instrumented kernel.
 
     Per-process numbers are the max over ranks (the provisioning-relevant
     worst case; at these weak-scaled sizes the ranks are near-identical).
+    ``storage`` (the shared CLI seam) picks the *backend* under the
+    study's WAL / incremental runs: ``"disk"`` / ``"wal-disk"`` root
+    them in a fresh temporary directory of real files; the default
+    (``None`` / ``"memory"`` / ``"wal"``) keeps the in-memory backend.
     """
     if app_name not in APPS:
         raise ValueError(f"unknown app {app_name!r}")
@@ -139,6 +148,18 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
     params = dict(params if params is not None
                   else SIZES_PARAMS.get(app_name, {}))
     app = APPS[app_name]
+    backend_root = None
+    if storage in ("disk", "wal-disk"):
+        import tempfile
+
+        backend_root = tempfile.mkdtemp(prefix="repro-sizes-")
+
+    def backend(tag: str):
+        if backend_root is None:
+            return InMemoryStorage()
+        from ..storage.stable import DiskStorage
+
+        return DiskStorage(f"{backend_root}/{tag}")
 
     # 1. original-mode accounting run (golden time anchors the interval)
     probe = _accounting_probe(app, params, churn_blocks)
@@ -158,7 +179,7 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
     #    store physically retains after segment GC (record framing +
     #    not-yet-compacted garbage included)
     config = C3Config(checkpoint_interval=base.virtual_time * interval_frac)
-    wal_store = WalStore(InMemoryStorage())
+    wal_store = WalStore(backend("wal"))
     full_run, full_stats = run_c3(c3_app, nprocs, machine=machine,
                                   storage=wal_store, config=config,
                                   wall_timeout=wall_timeout, engine=engine)
@@ -176,9 +197,13 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
                           * interval_frac,
                           incremental=True, incremental_full_interval=64)
     inc_run, inc_stats = run_c3(c3_app, nprocs, machine=machine,
-                                storage=InMemoryStorage(), config=inc_config,
+                                storage=backend("inc"), config=inc_config,
                                 wall_timeout=wall_timeout, engine=engine)
     inc_run.raise_errors()
+    if backend_root is not None:
+        import shutil
+
+        shutil.rmtree(backend_root, ignore_errors=True)
     ist = [s for s in inc_stats if s is not None]
     inc_committed = min((s.checkpoints_committed for s in ist), default=0)
     inc_delta = max((s.last_committed_bytes for s in ist), default=0)
@@ -202,6 +227,8 @@ def measure_kernel_sizes(app_name: str, nprocs: int = 4,
                                     else None),
         "reduction_pct": acct["reduction"] * 100.0,
     }
+    if storage is not None:
+        row["storage"] = storage
     row["failure"] = _judge(row)
     row["passed"] = row["failure"] is None
     return row
@@ -228,15 +255,58 @@ def _judge(row: Dict) -> Optional[str]:
     return None
 
 
+#: metric keys nulled out in the row of a cell whose worker died
+_SIZES_METRICS = ("params", "golden_seconds", "checkpoints_committed",
+                  "condor_bytes", "c3_bytes", "condor_payload_bytes",
+                  "c3_payload_bytes", "c3_committed_bytes",
+                  "wal_retained_bytes", "incremental_delta_bytes",
+                  "reduction_pct")
+
+
+def sizes_cells(names: Sequence[str], nprocs: int = 4,
+                platform: str = "linux", engine: Optional[str] = None,
+                storage: Optional[str] = None) -> List[Cell]:
+    """One farmable cell per instrumented kernel."""
+    machine = SIZES_PLATFORMS[platform]
+    extra = {} if storage is None else {"storage": storage}
+    return [Cell(measure_kernel_sizes,
+                 dict(app_name=name, nprocs=nprocs, machine=machine,
+                      engine=engine, **extra),
+                 label=f"sizes:{name}")
+            for name in names]
+
+
 def table_sizes_rows(kernels: Optional[Sequence[str]] = None,
                      nprocs: int = 4, platform: str = "linux",
-                     engine: Optional[str] = None) -> List[Dict]:
+                     engine: Optional[str] = None,
+                     parallel: Optional[bool] = None,
+                     max_workers: Optional[int] = None,
+                     storage: Optional[str] = None,
+                     on_row: Optional[callable] = None) -> List[Dict]:
     """One gate-judged row per instrumented kernel (EXPERIMENTS.md feed)."""
-    machine = SIZES_PLATFORMS[platform]
     names = list(kernels) if kernels else sorted(INSTRUMENTED_APPS)
-    return [measure_kernel_sizes(name, nprocs=nprocs, machine=machine,
-                                 engine=engine)
-            for name in names]
+    cells = sizes_cells(names, nprocs=nprocs, platform=platform,
+                        engine=engine, storage=storage)
+    rows: List[Dict] = []
+
+    def on_result(_i: int, cell: Cell, result) -> None:
+        if isinstance(result, CellError):
+            err = result
+            result = dict.fromkeys(_SIZES_METRICS)
+            result.update(kernel=cell.kwargs["app_name"], nprocs=nprocs,
+                          platform=cell.kwargs["machine"].name,
+                          failure=err.error, passed=False)
+        rows.append(result)
+        if on_row is not None:
+            on_row(result)
+
+    run_cells(cells, parallel=parallel, max_workers=max_workers,
+              on_result=on_result)
+    return rows
+
+
+def _kb(value) -> Optional[float]:
+    return None if value is None else value / 1e3
 
 
 def render_sizes(rows: Sequence[Dict]) -> str:
@@ -245,12 +315,11 @@ def render_sizes(rows: Sequence[Dict]) -> str:
     for r in rows:
         table_rows.append([
             r["kernel"], "PASS" if r["passed"] else "FAIL",
-            r["condor_bytes"] / 1e3, r["c3_bytes"] / 1e3,
+            _kb(r["condor_bytes"]), _kb(r["c3_bytes"]),
             r["reduction_pct"],
-            r["c3_committed_bytes"] / 1e3,
-            r.get("wal_retained_bytes", 0) / 1e3,
-            (r["incremental_delta_bytes"] / 1e3
-             if r["incremental_delta_bytes"] is not None else None),
+            _kb(r["c3_committed_bytes"]),
+            _kb(r.get("wal_retained_bytes", 0)),
+            _kb(r["incremental_delta_bytes"]),
             r["checkpoints_committed"],
         ])
     return render_table(
@@ -281,12 +350,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     ap.add_argument("--platform", choices=sorted(SIZES_PLATFORMS),
                     default="linux",
                     help="Table-1 uniprocessor model (default linux)")
-    ap.add_argument("--engine", choices=["cooperative", "threads"],
-                    help="execution backend (default: cooperative)")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
-    ap.add_argument("-q", "--quiet", action="store_true",
-                    help="suppress per-kernel progress lines")
+    add_engine_arg(ap)
+    add_storage_arg(ap)
+    add_worker_args(ap)
+    add_output_args(ap)
     return ap.parse_args(argv)
 
 
@@ -294,23 +361,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse_args(argv)
     kernels = (args.kernels.split(",") if args.kernels
                else sorted(INSTRUMENTED_APPS))
-    unknown = [k for k in kernels if k not in APPS]
-    if unknown:
-        print(f"unknown kernels: {unknown}; "
-              f"instrumented: {sorted(INSTRUMENTED_APPS)}", file=sys.stderr)
-        return 2
+    rc = require_known(kernels, APPS, "kernels")
+    if rc:
+        return rc
+    done = [0]
+
+    def show_row(row: Dict) -> None:
+        done[0] += 1
+        if args.quiet:
+            return
+        verdict = "PASS" if row["passed"] else f"FAIL ({row['failure']})"
+        sizes = ("" if row["condor_bytes"] is None else
+                 f"condor={row['condor_bytes']} c3={row['c3_bytes']} "
+                 f"({row['reduction_pct']:.1f}% smaller)")
+        print(f"[{done[0]}/{len(kernels)}] {verdict} {row['kernel']}: "
+              f"{sizes}", flush=True)
+
     t0 = time.time()
-    rows = []
-    for i, name in enumerate(kernels, start=1):
-        row = measure_kernel_sizes(name, nprocs=args.nprocs,
-                                   machine=SIZES_PLATFORMS[args.platform],
-                                   engine=args.engine)
-        rows.append(row)
-        if not args.quiet:
-            verdict = "PASS" if row["passed"] else f"FAIL ({row['failure']})"
-            print(f"[{i}/{len(kernels)}] {verdict} {name}: "
-                  f"condor={row['condor_bytes']} c3={row['c3_bytes']} "
-                  f"({row['reduction_pct']:.1f}% smaller)", flush=True)
+    rows = table_sizes_rows(kernels, nprocs=args.nprocs,
+                            platform=args.platform, engine=args.engine,
+                            storage=args.storage,
+                            parallel=False if args.inline else None,
+                            max_workers=args.workers, on_row=show_row)
     wall = time.time() - t0
     print()
     print(render_sizes(rows))
@@ -326,13 +398,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"\n{summary['passed']}/{summary['kernels']} kernels within the "
           f"Table-1 inequality ({wall:.1f}s wall)")
     if args.json:
-        with open(args.json, "w") as f:
-            json.dump({"summary": summary, "rows": rows}, f, indent=2,
-                      default=str)
-        print(f"wrote {args.json}")
+        write_artifact(args.json, {"summary": summary, "rows": rows})
     if failures:
-        print("FAILED kernels:", ", ".join(failures), file=sys.stderr)
-        return 1
+        return fail_exit(failures, what="kernels")
     return 0
 
 

@@ -33,7 +33,6 @@ Command line::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -46,12 +45,18 @@ from ..storage.manifest import section_digest
 from ..storage.stable import DiskStorage, InMemoryStorage
 from ..storage.store import as_store
 from ..storage.wal import WalStore
+from .jobs import (
+    add_engine_arg, add_output_args, add_storage_arg, add_worker_args,
+    fail_exit, require_known, write_artifact,
+)
 from .overlap import OVERLAP_KERNELS
+from .parallel import Cell, CellError, run_cells
 from .report import render_table
 
 __all__ = [
     "WAL_KERNELS", "WAL_PLATFORMS", "commit_rows", "discipline_rows",
-    "main", "render_commits", "render_discipline",
+    "main", "measure_commit_cell", "measure_discipline_cell",
+    "render_commits", "render_discipline",
 ]
 
 #: the three platform models of the evaluation; their procs_per_node
@@ -77,75 +82,125 @@ def _retained(store) -> int:
                default=0)
 
 
+def measure_commit_cell(platform: str, kernel: str, nprocs: int = 4,
+                        engine: Optional[str] = None,
+                        backend: str = "disk") -> Dict:
+    """Top-level (picklable) cell body: one scatter-vs-WAL commit row.
+
+    ``backend`` picks the storage backend both engines run over:
+    ``"disk"`` (the study default — real files, real fsyncs via the
+    counter seam) or ``"memory"`` (the same counters on the in-memory
+    backend, for quick differential runs via ``--storage memory``).
+    """
+    machine = MACHINES[platform]
+    golden = run_original(name_app(kernel), nprocs, machine=machine,
+                          engine=engine)
+    golden.raise_errors()
+    config = C3Config(
+        checkpoint_interval=golden.virtual_time * INTERVAL_FRAC)
+    with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
+        def make_backend(tag: str):
+            if backend == "memory":
+                return InMemoryStorage()
+            return DiskStorage(f"{tmp}/{tag}")
+
+        scatter_backend = make_backend("scatter")
+        result, _ = run_c3(name_app(kernel), nprocs, machine=machine,
+                           storage=scatter_backend, config=config,
+                           engine=engine)
+        result.raise_errors()
+        scatter = as_store(scatter_backend)
+        scatter_lines = scatter.last_committed_global(nprocs) or 0
+        scatter_fsyncs = scatter_backend.fsync_count
+        scatter_bytes = scatter_backend.total_bytes()
+        scatter_retained = _retained(scatter)
+
+        wal_backend = make_backend("wal")
+        store = WalStore(wal_backend)
+        result, _ = run_c3(name_app(kernel), nprocs, machine=machine,
+                           storage=store, config=config,
+                           engine=engine)
+        result.raise_errors()
+        wal_lines = store.last_committed_global(nprocs) or 0
+        wal_fsyncs = wal_backend.fsync_count
+        wal_bytes = wal_backend.total_bytes()
+        wal_retained = _retained(store)
+        wal_stats = store.stats()
+    nodes = _nodes(nprocs, machine.procs_per_node)
+    row = {
+        "platform": platform,
+        "kernel": kernel,
+        "nprocs": nprocs,
+        "nodes": nodes,
+        "procs_per_node": machine.procs_per_node,
+        "scatter_lines": scatter_lines,
+        "wal_lines": wal_lines,
+        "scatter_fsyncs": scatter_fsyncs,
+        "wal_fsyncs": wal_fsyncs,
+        "scatter_fsyncs_per_line": (scatter_fsyncs / scatter_lines
+                                    if scatter_lines else None),
+        "wal_fsyncs_per_line": (wal_fsyncs / wal_lines
+                                if wal_lines else None),
+        "wal_fsyncs_per_node_per_line": (
+            wal_fsyncs / (nodes * wal_lines) if wal_lines else None),
+        "group_commits": wal_stats["group_commits"],
+        "segments_created": wal_stats["segments_created"],
+        "segments_retired": wal_stats["segments_retired"],
+        "segments_compacted": wal_stats["segments_compacted"],
+        "scatter_stored_bytes": scatter_bytes,
+        "wal_stored_bytes": wal_bytes,
+        "scatter_lines_retained": scatter_retained,
+        "wal_lines_retained": wal_retained,
+    }
+    if backend != "disk":
+        row["backend"] = backend
+    row["failure"] = _judge_commit(row)
+    row["passed"] = row["failure"] is None
+    return row
+
+
 def commit_rows(platforms: Sequence[str] = WAL_PLATFORMS,
                 kernels: Optional[Sequence[str]] = None,
                 nprocs: int = 4,
-                engine: Optional[str] = None) -> List[Dict]:
+                engine: Optional[str] = None,
+                parallel: Optional[bool] = None,
+                max_workers: Optional[int] = None,
+                backend: str = "disk",
+                on_row=None) -> List[Dict]:
     """One gate-judged scatter-vs-WAL cell per (platform, kernel)."""
     names = list(kernels) if kernels else sorted(WAL_KERNELS)
-    rows = []
-    for platform in platforms:
-        machine = MACHINES[platform]
-        for name in names:
-            params = WAL_KERNELS[name]
-            golden = run_original(name_app(name), nprocs, machine=machine,
-                                  engine=engine)
-            golden.raise_errors()
-            config = C3Config(
-                checkpoint_interval=golden.virtual_time * INTERVAL_FRAC)
-            with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
-                scatter_backend = DiskStorage(f"{tmp}/scatter")
-                result, _ = run_c3(name_app(name), nprocs, machine=machine,
-                                   storage=scatter_backend, config=config,
-                                   engine=engine)
-                result.raise_errors()
-                scatter = as_store(scatter_backend)
-                scatter_lines = scatter.last_committed_global(nprocs) or 0
-                scatter_fsyncs = scatter_backend.fsync_count
-                scatter_bytes = scatter_backend.total_bytes()
-                scatter_retained = _retained(scatter)
+    cells = [Cell(measure_commit_cell,
+                  dict(platform=platform, kernel=name, nprocs=nprocs,
+                       engine=engine, backend=backend),
+                  label=f"wal:{platform}/{name}")
+             for platform in platforms for name in names]
+    rows: List[Dict] = []
 
-                wal_backend = DiskStorage(f"{tmp}/wal")
-                store = WalStore(wal_backend)
-                result, _ = run_c3(name_app(name), nprocs, machine=machine,
-                                   storage=store, config=config,
-                                   engine=engine)
-                result.raise_errors()
-                wal_lines = store.last_committed_global(nprocs) or 0
-                wal_fsyncs = wal_backend.fsync_count
-                wal_bytes = wal_backend.total_bytes()
-                wal_retained = _retained(store)
-                wal_stats = store.stats()
-            nodes = _nodes(nprocs, machine.procs_per_node)
-            row = {
-                "platform": platform,
-                "kernel": name,
-                "nprocs": nprocs,
-                "nodes": nodes,
-                "procs_per_node": machine.procs_per_node,
-                "scatter_lines": scatter_lines,
-                "wal_lines": wal_lines,
-                "scatter_fsyncs": scatter_fsyncs,
-                "wal_fsyncs": wal_fsyncs,
-                "scatter_fsyncs_per_line": (scatter_fsyncs / scatter_lines
-                                            if scatter_lines else None),
-                "wal_fsyncs_per_line": (wal_fsyncs / wal_lines
-                                        if wal_lines else None),
-                "wal_fsyncs_per_node_per_line": (
-                    wal_fsyncs / (nodes * wal_lines) if wal_lines else None),
-                "group_commits": wal_stats["group_commits"],
-                "segments_created": wal_stats["segments_created"],
-                "segments_retired": wal_stats["segments_retired"],
-                "segments_compacted": wal_stats["segments_compacted"],
-                "scatter_stored_bytes": scatter_bytes,
-                "wal_stored_bytes": wal_bytes,
-                "scatter_lines_retained": scatter_retained,
-                "wal_lines_retained": wal_retained,
-            }
-            row["failure"] = _judge_commit(row)
-            row["passed"] = row["failure"] is None
-            rows.append(row)
+    def on_result(_i: int, cell: Cell, result) -> None:
+        if isinstance(result, CellError):
+            err = result
+            result = dict.fromkeys(_COMMIT_METRICS)
+            result.update(platform=cell.kwargs["platform"],
+                          kernel=cell.kwargs["kernel"], nprocs=nprocs,
+                          failure=err.error, passed=False)
+        rows.append(result)
+        if on_row is not None:
+            on_row(result)
+
+    run_cells(cells, parallel=parallel, max_workers=max_workers,
+              on_result=on_result)
     return rows
+
+
+#: metric keys nulled out in the row of a cell whose worker died
+_COMMIT_METRICS = (
+    "nodes", "procs_per_node", "scatter_lines", "wal_lines",
+    "scatter_fsyncs", "wal_fsyncs", "scatter_fsyncs_per_line",
+    "wal_fsyncs_per_line", "wal_fsyncs_per_node_per_line",
+    "group_commits", "segments_created", "segments_retired",
+    "segments_compacted", "scatter_stored_bytes", "wal_stored_bytes",
+    "scatter_lines_retained", "wal_lines_retained",
+)
 
 
 def name_app(name: str):
@@ -191,9 +246,59 @@ def _judge_commit(row: Dict) -> Optional[str]:
     return None
 
 
+def measure_discipline_cell(backend_name: str, ppn: int, nprocs: int = 4,
+                            lines: int = 6) -> Dict:
+    """Top-level (picklable) cell body: one controlled group-commit row."""
+    with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
+        if backend_name == "disk":
+            backend = DiskStorage(tmp)
+        else:
+            backend = InMemoryStorage()
+        store = WalStore(backend)
+        store.configure(nprocs, procs_per_node=ppn)
+        payloads = {}
+        for v in range(1, lines + 1):
+            for r in range(nprocs):
+                payload = bytes(((v * 31 + r + i) % 256)
+                                for i in range(128))
+                payloads[(v, r)] = payload
+                store.put_section(v, r, "state", payload)
+                store.commit_line(
+                    v, r, sections={
+                        "state": (len(payload),
+                                  section_digest(payload))})
+        nodes = _nodes(nprocs, ppn)
+        fsyncs = backend.fsync_count
+        replay_ok = True
+        if backend_name == "disk":
+            reopened = WalStore(backend)
+            reopened.configure(nprocs, procs_per_node=ppn)
+            replay_ok = (
+                reopened.last_committed_global(nprocs) == lines
+                and all(reopened.read_section(v, r, "state")
+                        == payloads[(v, r)]
+                        for v in range(1, lines + 1)
+                        for r in range(nprocs)))
+    row = {
+        "backend": backend_name,
+        "nprocs": nprocs,
+        "procs_per_node": ppn,
+        "nodes": nodes,
+        "lines": lines,
+        "fsyncs": fsyncs,
+        "fsyncs_per_node_per_line": fsyncs / (nodes * lines),
+        "replay_bitwise": replay_ok,
+    }
+    row["failure"] = _judge_discipline(row)
+    row["passed"] = row["failure"] is None
+    return row
+
+
 def discipline_rows(nprocs: int = 4, lines: int = 6,
                     backends: Sequence[str] = ("memory", "disk"),
-                    ) -> List[Dict]:
+                    parallel: Optional[bool] = None,
+                    max_workers: Optional[int] = None,
+                    on_row=None) -> List[Dict]:
     """Controlled group-commit cells: exact fsync counts, replay parity.
 
     Every rank writes one section and commits, for ``lines`` lines, over
@@ -202,52 +307,29 @@ def discipline_rows(nprocs: int = 4, lines: int = 6,
     then reopen the backend cold and require WAL replay to rebuild the
     same committed index with bitwise-identical payloads.
     """
-    rows = []
-    for backend_name in backends:
-        for ppn in (1, 2, nprocs):
-            with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
-                if backend_name == "disk":
-                    backend = DiskStorage(tmp)
-                else:
-                    backend = InMemoryStorage()
-                store = WalStore(backend)
-                store.configure(nprocs, procs_per_node=ppn)
-                payloads = {}
-                for v in range(1, lines + 1):
-                    for r in range(nprocs):
-                        payload = bytes(((v * 31 + r + i) % 256)
-                                        for i in range(128))
-                        payloads[(v, r)] = payload
-                        store.put_section(v, r, "state", payload)
-                        store.commit_line(
-                            v, r, sections={
-                                "state": (len(payload),
-                                          section_digest(payload))})
-                nodes = _nodes(nprocs, ppn)
-                fsyncs = backend.fsync_count
-                replay_ok = True
-                if backend_name == "disk":
-                    reopened = WalStore(backend)
-                    reopened.configure(nprocs, procs_per_node=ppn)
-                    replay_ok = (
-                        reopened.last_committed_global(nprocs) == lines
-                        and all(reopened.read_section(v, r, "state")
-                                == payloads[(v, r)]
-                                for v in range(1, lines + 1)
-                                for r in range(nprocs)))
-            row = {
-                "backend": backend_name,
-                "nprocs": nprocs,
-                "procs_per_node": ppn,
-                "nodes": nodes,
-                "lines": lines,
-                "fsyncs": fsyncs,
-                "fsyncs_per_node_per_line": fsyncs / (nodes * lines),
-                "replay_bitwise": replay_ok,
-            }
-            row["failure"] = _judge_discipline(row)
-            row["passed"] = row["failure"] is None
-            rows.append(row)
+    cells = [Cell(measure_discipline_cell,
+                  dict(backend_name=backend_name, ppn=ppn, nprocs=nprocs,
+                       lines=lines),
+                  label=f"wal-discipline:{backend_name}/ppn{ppn}")
+             for backend_name in backends for ppn in (1, 2, nprocs)]
+    rows: List[Dict] = []
+
+    def on_result(_i: int, cell: Cell, result) -> None:
+        if isinstance(result, CellError):
+            err = result
+            result = dict.fromkeys(("nodes", "lines", "fsyncs",
+                                    "fsyncs_per_node_per_line",
+                                    "replay_bitwise"))
+            result.update(backend=cell.kwargs["backend_name"],
+                          nprocs=nprocs,
+                          procs_per_node=cell.kwargs["ppn"],
+                          failure=err.error, passed=False)
+        rows.append(result)
+        if on_row is not None:
+            on_row(result)
+
+    run_cells(cells, parallel=parallel, max_workers=max_workers,
+              on_result=on_result)
     return rows
 
 
@@ -320,14 +402,15 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                          f"(default: {', '.join(sorted(WAL_KERNELS))})")
     ap.add_argument("--nprocs", type=int, default=4,
                     help="simulated ranks per run (default 4)")
-    ap.add_argument("--engine", choices=["cooperative", "threads"],
-                    help="execution backend (default: cooperative)")
+    add_engine_arg(ap)
+    add_storage_arg(ap, help="storage backend under *both* engines of the "
+                             "commit cells: disk (the study default: real "
+                             "files, real fsyncs) or memory/wal flavors "
+                             "mapping to the in-memory backend")
     ap.add_argument("--skip-discipline", action="store_true",
                     help="commit cells only (no controlled-count slice)")
-    ap.add_argument("--json", metavar="PATH",
-                    help="write the machine-readable report here")
-    ap.add_argument("-q", "--quiet", action="store_true",
-                    help="suppress per-cell progress lines")
+    add_worker_args(ap)
+    add_output_args(ap)
     return ap.parse_args(argv)
 
 
@@ -336,37 +419,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     platforms = (args.platforms.split(",") if args.platforms
                  else list(WAL_PLATFORMS))
     kernels = args.kernels.split(",") if args.kernels else None
-    unknown = [p for p in platforms if p not in MACHINES]
-    if unknown:
-        print(f"unknown platforms: {unknown}; have {sorted(MACHINES)}",
-              file=sys.stderr)
-        return 2
-    if kernels:
-        unknown = [k for k in kernels if k not in WAL_KERNELS]
-        if unknown:
-            print(f"unknown kernels: {unknown}; have {sorted(WAL_KERNELS)}",
-                  file=sys.stderr)
-            return 2
+    rc = require_known(platforms, MACHINES, "platforms")
+    if rc is None and kernels:
+        rc = require_known(kernels, WAL_KERNELS, "kernels")
+    if rc:
+        return rc
+    # the study inherently compares scatter vs WAL; --storage selects the
+    # backend both engines run over (disk flavors = the study default)
+    backend = ("memory" if args.storage in ("memory", "wal") else "disk")
+
+    def show_commit(r: Dict) -> None:
+        if args.quiet:
+            return
+        verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
+        counts = ("" if r["scatter_fsyncs_per_line"] is None else
+                  f": scatter={r['scatter_fsyncs_per_line']:.1f} f/line "
+                  f"wal={r['wal_fsyncs_per_line']:.2f} f/line")
+        print(f"{verdict} {r['platform']}/{r['kernel']}{counts}", flush=True)
+
+    def show_discipline(r: Dict) -> None:
+        if args.quiet:
+            return
+        verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
+        counts = ("" if r["fsyncs"] is None else
+                  f": {r['fsyncs']} fsyncs for {r['nodes']} nodes x "
+                  f"{r['lines']} lines")
+        print(f"{verdict} {r['backend']}/ppn{r['procs_per_node']}{counts}",
+              flush=True)
 
     t0 = time.time()
+    parallel = False if args.inline else None
     c_rows = commit_rows(platforms, kernels, nprocs=args.nprocs,
-                         engine=args.engine)
-    if not args.quiet:
-        for r in c_rows:
-            verdict = "PASS" if r["passed"] else f"FAIL ({r['failure']})"
-            print(f"{verdict} {r['platform']}/{r['kernel']}: "
-                  f"scatter={r['scatter_fsyncs_per_line']:.1f} f/line "
-                  f"wal={r['wal_fsyncs_per_line']:.2f} f/line", flush=True)
+                         engine=args.engine, parallel=parallel,
+                         max_workers=args.workers, backend=backend,
+                         on_row=show_commit)
     d_rows = []
     if not args.skip_discipline:
-        d_rows = discipline_rows(nprocs=args.nprocs)
-        if not args.quiet:
-            for r in d_rows:
-                verdict = ("PASS" if r["passed"]
-                           else f"FAIL ({r['failure']})")
-                print(f"{verdict} {r['backend']}/ppn{r['procs_per_node']}: "
-                      f"{r['fsyncs']} fsyncs for {r['nodes']} nodes x "
-                      f"{r['lines']} lines", flush=True)
+        d_rows = discipline_rows(nprocs=args.nprocs, parallel=parallel,
+                                 max_workers=args.workers,
+                                 on_row=show_discipline)
     wall = time.time() - t0
 
     print()
@@ -388,13 +479,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"\n{summary['passed']}/{len(c_rows) + len(d_rows)} cells within "
           f"the WAL gates ({wall:.1f}s wall)")
     if args.json:
-        with open(args.json, "w") as f:
-            json.dump({"summary": summary, "commits": c_rows,
-                       "discipline": d_rows}, f, indent=2, default=str)
-        print(f"wrote {args.json}")
+        write_artifact(args.json, {"summary": summary, "commits": c_rows,
+                                   "discipline": d_rows})
     if failures:
-        print("FAILED cells:", ", ".join(failures), file=sys.stderr)
-        return 1
+        return fail_exit(failures)
     return 0
 
 

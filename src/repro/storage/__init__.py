@@ -6,12 +6,14 @@ from .manifest import (
     delete_line, last_committed_global, last_committed_local, line_manifest,
     record_commit, section_digest, section_path, validate_line,
 )
+from .namespace import PrefixBackend, tenant_backend
 from .stable import DiskStorage, InMemoryStorage, StorageBackend, StorageError
 from .store import CheckpointStore, ScatterStore, as_store
 from .wal import WalStore
 
 __all__ = [
     "StorageBackend", "InMemoryStorage", "DiskStorage", "StorageError",
+    "PrefixBackend", "tenant_backend",
     "record_commit", "committed_map", "committed_versions",
     "last_committed_local", "last_committed_global", "checkpoint_bytes",
     "section_path", "commit_path", "line_manifest", "section_digest",

@@ -2,8 +2,10 @@
 
 import pytest
 
+import os
+
 from repro.harness import paperdata, render_table
-from repro.harness.parallel import Cell, default_workers, run_cells
+from repro.harness.parallel import Cell, CellError, default_workers, run_cells
 from repro.harness.platforms import (
     LEMIEUX_CODES, RESTART_CODES, TABLE1_CODES, VELOCITY2_CODES,
 )
@@ -124,3 +126,49 @@ class TestParallelHarness:
     def test_worker_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
         assert default_workers() == 3
+
+
+def _kill_worker() -> None:
+    """Simulate a hard worker crash (no exception, no cleanup)."""
+    os._exit(13)
+
+
+def _well_behaved(value: int) -> int:
+    return value * 2
+
+
+class TestWorkerDeath:
+    """A crashed pool worker must surface as a failed cell, not take
+    down the study (ISSUE 9 satellite: kill-the-worker regression)."""
+
+    def test_killer_cell_reports_cell_error(self):
+        cells = [Cell(_well_behaved, dict(value=1), label="ok-0"),
+                 Cell(_kill_worker, {}, label="killer"),
+                 Cell(_well_behaved, dict(value=3), label="ok-1")]
+        results = run_cells(cells, parallel=True, max_workers=2)
+        assert results[0] == 2
+        assert results[2] == 6
+        err = results[1]
+        assert isinstance(err, CellError)
+        assert err.label == "killer"
+        assert "died" in err.error and "killer" in err.error
+        assert "BrokenProcessPool" in err.traceback
+
+    def test_on_result_streams_past_the_crash(self):
+        cells = [Cell(_kill_worker, {}, label="killer")] + \
+            [Cell(_well_behaved, dict(value=i), label=f"ok-{i}")
+             for i in range(3)]
+        seen = []
+        results = run_cells(cells, parallel=True, max_workers=2,
+                            on_result=lambda i, c, r: seen.append((i, c.label)))
+        assert seen == [(0, "killer"), (1, "ok-0"), (2, "ok-1"), (3, "ok-2")]
+        assert isinstance(results[0], CellError)
+        assert results[1:] == [0, 2, 4]
+
+    def test_pool_recovers_for_next_wave(self):
+        run_cells([Cell(_kill_worker, {}, label="killer"),
+                   Cell(_well_behaved, dict(value=1), label="ok")],
+                  parallel=True, max_workers=2)
+        clean = run_cells([Cell(_well_behaved, dict(value=v)) for v in (1, 2)],
+                          parallel=True, max_workers=2)
+        assert clean == [2, 4]
