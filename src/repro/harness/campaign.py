@@ -77,6 +77,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps import APPS
+from ..mpi.backends import backend_for
 from ..mpi.timemodel import MACHINES
 from .jobs import (
     add_engine_arg, add_output_args, add_seed_arg, add_storage_arg,
@@ -238,6 +239,10 @@ KILL_TIMINGS: Dict[str, Tuple[Callable[[int], List[dict]], bool, bool,
 #: Storage choices whose scenarios run against the WAL engine.
 WAL_STORAGES = frozenset({"wal", "wal-disk"})
 
+#: Storage choices whose medium survives a killed OS process — what a
+#: ``supports_real_kill`` backend needs for fault-injected scenarios.
+DISK_STORAGES = frozenset({"disk", "wal-disk"})
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -367,7 +372,9 @@ class CampaignReport:
         rows = self.rows
         out = {
             "scenarios": len(rows),
-            "passed": sum(r["passed"] for r in rows),
+            "passed": sum(r["passed"] and not r.get("skipped")
+                          for r in rows),
+            "skipped": sum(bool(r.get("skipped")) for r in rows),
             "failed": [r["scenario"] for r in self.failures],
             "total_restarts": sum(r.get("restarts", 0) for r in rows),
             "wall_seconds": self.wall_seconds,
@@ -385,8 +392,32 @@ class CampaignReport:
             f.write(self.to_json())
 
 
+def skip_reason(scenario: Scenario) -> Optional[str]:
+    """Why this backend cannot run the scenario honestly, or ``None``.
+
+    Decided from the backend's capability flags (one source of truth in
+    :mod:`repro.mpi.backends`), not from engine-name string checks: a
+    ``supports_real_kill`` backend physically destroys the victim OS
+    process, so a fault-injected scenario over a storage flavor whose
+    medium dies with the process has nothing stable to recover from and
+    is recorded as skipped-with-reason rather than run dishonestly.
+    """
+    impl = backend_for(scenario.engine)
+    if (impl.supports_real_kill and scenario.kills
+            and scenario.storage not in DISK_STORAGES):
+        return (f"engine {impl.name!r} delivers faults as real SIGKILLs; "
+                f"storage {scenario.storage!r} dies with the killed "
+                f"process (needs one of {sorted(DISK_STORAGES)})")
+    return None
+
+
 def _judge(scenario: Scenario, record: Dict) -> Dict:
     """Fold a measurement record into a campaign row with a verdict."""
+    if record.get("skipped"):
+        # capability skip: a row with the reason, counted apart from
+        # passes in the summary, never a silent hole in the matrix
+        return {"scenario": scenario.label, "kill_timing": scenario.kill,
+                "passed": True, "failure": None, **record}
     deterministic = KILL_TIMINGS[scenario.kill][1]
     # At least one kill must have fired (see KILL_TIMINGS: later kills of
     # a multi-fault schedule are best-effort after clocks reset).
@@ -435,6 +466,10 @@ def _measure_scenario(scenario: Scenario) -> Dict:
     restart — runs against the log-structured engine.
     """
     s = scenario
+    reason = skip_reason(s)
+    if reason is not None:
+        return {"app": s.app, "nprocs": s.nprocs, "platform": s.platform,
+                "kills": list(s.kills), "skipped": reason}
     try:
         with open_store(s.storage, prefix="repro-campaign-") as factory:
             return measure_recovery(
@@ -493,7 +528,9 @@ def render_campaign(rows: Sequence[Dict]) -> str:
     table_rows = []
     for r in rows:
         table_rows.append([
-            r["scenario"], "PASS" if r["passed"] else "FAIL",
+            r["scenario"],
+            ("SKIP" if r.get("skipped")
+             else "PASS" if r["passed"] else "FAIL"),
             r.get("restarts", 0),
             r.get("checkpoints_committed"),
             r.get("lines_retained"),

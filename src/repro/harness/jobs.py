@@ -208,14 +208,35 @@ def run_study(job: StudyJob, parallel: Optional[bool] = None,
 # The shared CLI seam
 # ---------------------------------------------------------------------------
 
+def _engine_spec(value: str) -> str:
+    """argparse ``type=`` validator for ``--engine``.
+
+    Validates the spelling against the backend registry at parse time
+    (keeping the canonical registry error message), so every study CLI
+    rejects an unknown engine the same way: usage + error on stderr,
+    exit status 2.  The *original* spelling is returned — studies pass
+    it through :func:`~repro.mpi.backends.resolve_backend` themselves,
+    which also owns the ``REPRO_ENGINE`` fallback for the unset case.
+    """
+    from ..mpi.backends import resolve_backend
+    try:
+        resolve_backend(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
 def add_engine_arg(ap: argparse.ArgumentParser,
                    help: Optional[str] = None) -> None:  # noqa: A002
-    """``--engine``: the execution backend, uniform across studies."""
-    ap.add_argument("--engine",
-                    help=help or (
-                        "execution backend: cooperative, threads, or "
-                        "sharded[:N] for N forked node-shards (default: "
-                        "the cooperative scheduler, or REPRO_ENGINE)"))
+    """``--engine``: the execution backend, uniform across studies.
+
+    Choices, spellings, and the help text all derive from the backend
+    registry (:mod:`repro.mpi.backends`) — the single source of truth —
+    so a newly registered backend shows up in every study CLI at once.
+    """
+    from ..mpi.backends import engine_help
+    ap.add_argument("--engine", type=_engine_spec,
+                    help=help or engine_help())
 
 
 def add_storage_arg(ap: argparse.ArgumentParser,

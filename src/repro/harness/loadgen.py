@@ -33,9 +33,12 @@ import argparse
 import asyncio
 import math
 import random
+import shutil
+import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..mpi.backends import backend_for
 from ..service import CampaignService, JobSpec, canonical_result_bytes
 from .jobs import (
     add_engine_arg, add_output_args, add_seed_arg, add_storage_arg,
@@ -149,21 +152,41 @@ def run_loadgen(tenants: int = 4, jobs: int = 120,
     rng = random.Random(seed)
     n_dup = int(jobs * duplicate_frac)
     n_unique = max(1, jobs - n_dup)
-    specs = build_mix(rng, n_unique, storage=storage, engine=engine,
-                      platform=platform)
+    # The engine rides the service's default_engine (the process-backend
+    # executor option), not the specs: that is the seam a deployment
+    # would flip, and the cache keys must reflect the engine the service
+    # actually applied.
+    specs = build_mix(rng, n_unique, storage=storage, platform=platform)
     duplicates = [rng.randrange(n_unique) for _ in range(n_dup)]
     tenant_names = [f"tenant{i:02d}" for i in range(max(1, tenants))]
     workers = workers if workers is not None else 4
 
+    # A real-kill engine physically destroys node processes, so the
+    # tenants' shared medium must be real disk for fault-injected jobs
+    # to have stable bytes to recover from (capability flag, not an
+    # engine-name check); namespaces delegate shared_across_fork.
+    real_kill = (engine is not None
+                 and backend_for(engine).supports_real_kill)
+    disk_root = tempfile.mkdtemp(prefix="repro-loadgen-") if real_kill \
+        else None
+
     async def bench() -> Tuple[List[Dict], List[Dict], Dict]:
-        async with CampaignService(queue_limit=queue_limit,
-                                   workers=workers) as svc:
+        from ..storage.stable import DiskStorage
+        shared = DiskStorage(disk_root) if disk_root is not None else None
+        async with CampaignService(backend=shared,
+                                   queue_limit=queue_limit,
+                                   workers=workers,
+                                   default_engine=engine) as svc:
             first, second = await drive(svc, tenant_names, specs,
                                         duplicates)
             return first, second, svc.stats()
 
     t0 = time.monotonic()
-    first, second, stats = asyncio.run(bench())
+    try:
+        first, second, stats = asyncio.run(bench())
+    finally:
+        if disk_root is not None:
+            shutil.rmtree(disk_root, ignore_errors=True)
     wall = time.monotonic() - t0
 
     everything = first + second
@@ -186,6 +209,7 @@ def run_loadgen(tenants: int = 4, jobs: int = 120,
             "duplicate_frac": duplicate_frac,
             "queue_limit": queue_limit, "workers": workers,
             "seed": seed, "storage": storage, "engine": engine,
+            "service_backend": "disk" if real_kill else "memory",
             "platform": platform, "p99_budget_s": p99_budget,
         },
         "submissions": submissions,

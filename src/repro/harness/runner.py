@@ -230,11 +230,13 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
     storage = make_storage()
     run_times: List[float] = []
     restore_s = 0.0
+    real_kills = 0
     result, stats = run_c3(app, nprocs, machine=machine, storage=storage,
                            config=config, fault_plan=plan,
                            wall_timeout=wall_timeout, engine=engine)
     result.raise_errors()
     run_times.append(result.virtual_time)
+    real_kills += sum(1 for k in result.real_kills if k.get("sigkill"))
     restarts = 0
     while result.failure is not None:
         restarts += 1
@@ -248,6 +250,7 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
             engine=engine)
         result.raise_errors()
         run_times.append(result.virtual_time)
+        real_kills += sum(1 for k in result.real_kills if k.get("sigkill"))
         restore_s += max((s.restore_seconds for s in stats if s), default=0.0)
     verified_recovery = _returns_equal(result.returns, golden.returns)
 
@@ -278,6 +281,11 @@ def measure_recovery(app_name: str, nprocs: int, machine: MachineModel,
         "verified_clean": verified_clean,
         "verified_recovery": verified_recovery,
         "restarts": restarts,
+        #: waitpid-confirmed SIGKILL deliveries across the faulty run
+        #: and every restart — 0 for simulated-fault engines, and for a
+        #: real-kill engine the count of faults that physically took an
+        #: OS process (the process-backend smoke gate asserts >= 1)
+        "real_kills": real_kills,
         "golden_seconds": golden_s,
         "clean_c3_seconds": clean.virtual_time,
         "c3_overhead_pct": (clean.virtual_time - golden_s) / golden_s * 100.0,

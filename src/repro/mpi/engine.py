@@ -14,8 +14,11 @@ runtimes reported in Tables 2-7, and the process counts of the
 evaluation (the cooperative backend runs the paper's true 32-1024-rank
 configurations; see :mod:`repro.harness.platforms`).
 
-Three execution backends share all of the above (``engine=`` selects
-one; the ``REPRO_ENGINE`` environment variable overrides the default):
+Execution backends share all of the above.  ``engine=`` selects one by
+name from the pluggable registry in :mod:`repro.mpi.backends` (the
+``REPRO_ENGINE`` environment variable overrides the default); the
+engine itself no longer knows the launch paths — each backend class
+owns its own:
 
 * ``"cooperative"`` (default) — rank mains run as fibers under the
   deterministic cooperative scheduler (:mod:`repro.mpi.scheduler`):
@@ -32,6 +35,13 @@ one; the ``REPRO_ENGINE`` environment variable overrides the default):
   backend's :class:`JobResult` bitwise on point-to-point kernels (the
   differential battery in ``tests/mpi/test_sharded.py`` pins the exact
   cross-engine contract).
+* ``"processes"`` / ``"processes:N"`` — each simulated node is a real
+  forked OS process and fault specs are delivered as actual SIGKILLs
+  to the victim's node process; recovery restarts from shared stable
+  storage that survived the crash (:mod:`repro.mpi.processes`,
+  DESIGN.md §12).  The coordinator reuses the sharded framed-message
+  protocol; kill evidence (waitpid-confirmed termination signals)
+  lands in :attr:`JobResult.real_kills`.
 * ``"threads"`` — the original thread-per-rank model: free-running OS
   threads, condition-variable mailboxes, 1 MiB stacks, and a wall-clock
   watchdog as the only deadlock detector.  Kept as an escape hatch and
@@ -66,45 +76,14 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .backends import BACKENDS, backend_for, resolve_backend, \
+    warn_unavailable  # noqa: F401  (resolve_backend re-exported here)
 from .errors import DeadlockError, JobAborted, ProcessFailure
 from .faults import FaultPlan, FaultSpec
 from .matching import Mailbox
 from .message import Envelope
 from .scheduler import CooperativeScheduler
 from .timemodel import MachineModel, RankClock, TESTING
-
-#: recognized ``engine=`` spellings -> canonical backend name
-_BACKEND_ALIASES = {
-    "cooperative": "cooperative", "coop": "cooperative",
-    "threads": "threads", "threaded": "threads", "thread": "threads",
-    "sharded": "sharded", "shard": "sharded", "shards": "sharded",
-}
-
-
-def resolve_backend(name: Optional[str]) -> str:
-    """Canonical backend name: explicit arg > ``REPRO_ENGINE`` > default.
-
-    The sharded backend accepts a shard-count suffix — ``"sharded:8"``
-    runs (up to) 8 worker processes; bare ``"sharded"`` defaults to the
-    machine's CPU count (always clamped to the simulated node count).
-    """
-    if name is None:
-        name = os.environ.get("REPRO_ENGINE") or "cooperative"
-    text = str(name).lower()
-    base, sep, count = text.partition(":")
-    backend = _BACKEND_ALIASES.get(base)
-    if backend is None:
-        raise ValueError(
-            f"unknown engine backend {name!r}; "
-            f"known: {sorted(set(_BACKEND_ALIASES))}")
-    if sep:
-        if backend != "sharded":
-            raise ValueError(
-                f"engine backend {base!r} takes no ':N' suffix ({name!r})")
-        if not count.isdigit() or int(count) < 1:
-            raise ValueError(f"bad shard count in engine spec {name!r}")
-        return f"sharded:{int(count)}"
-    return backend
 
 
 class VirtualTimeFaultScheduler:
@@ -293,14 +272,16 @@ class RankContext:
         self.mailbox.notify()
 
     def raise_due_fault(self) -> None:
-        """Raise the pending scheduled fault, if any (on this rank's thread)."""
+        """Deliver the pending scheduled fault, if any (on this rank's
+        thread).  Delivery goes through :meth:`FaultPlan.deliver` so a
+        real-kill backend's hook can turn it into an actual SIGKILL."""
         spec = self._due_fault
         if spec is None:
             return
         self._due_fault = None
         if not self.engine.fault_plan.mark_fired(spec):
             return
-        raise ProcessFailure(self.rank, self.clock.now, spec.reason)
+        self.engine.fault_plan.deliver(spec, self.rank, self.clock.now)
 
     # -- envelope transmission ----------------------------------------------
     def post_envelope(self, env: Envelope) -> None:
@@ -334,6 +315,10 @@ class JobResult:
     sent_counts: List[int] = field(default_factory=list)
     sent_bytes: List[int] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: real-kill evidence from backends with ``supports_real_kill``:
+    #: one record per SIGKILLed node process, with the waitpid-confirmed
+    #: termination signal (``{"rank", "pid", "termsig", "sigkill", ...}``)
+    real_kills: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def aborted(self) -> bool:
@@ -385,6 +370,8 @@ class Engine:
         self.fault_scheduler: Optional[VirtualTimeFaultScheduler] = None
         #: the cooperative scheduler while a cooperative run is live
         self.scheduler: Optional[CooperativeScheduler] = None
+        #: real-kill evidence appended by real-kill backends (parent side)
+        self.real_kills: List[Dict[str, Any]] = []
         #: the current run's ``args`` tuple; shard workers substitute
         #: recording store wrappers here, so rank bodies must read the
         #: job arguments through the engine rather than a closure
@@ -478,6 +465,7 @@ class Engine:
         self._deadline = _time.monotonic() + timeout
         self._job_args = tuple(args)
         self.rank_contexts = [RankContext(self, r) for r in range(self.nprocs)]
+        self.real_kills = []
         self._arm_fault_scheduler()
         returns: List[Any] = [None] * self.nprocs
         errors: List[Tuple[int, str]] = []
@@ -504,14 +492,18 @@ class Engine:
                     errors.append((rank, traceback.format_exc()))
                 self.abort(None)
 
+        impl = backend_for(self.backend)
+        reason = impl.available()
+        if reason is not None:
+            # A registered-but-unavailable backend degrades to the
+            # cooperative oracle with a clear message, instead of
+            # failing the job on environment grounds.
+            warn_unavailable(impl, reason)
+            impl = BACKENDS["cooperative"]
+            self.backend = impl.name
+
         t0 = _time.monotonic()
-        if self.backend == "threads":
-            self._run_threads(worker, timeout, errors)
-        elif self.backend.startswith("sharded"):
-            from .sharded import run_sharded  # local import, no cycle
-            run_sharded(self, worker, timeout, errors, returns)
-        else:
-            self._run_cooperative(worker, errors)
+        impl.launch(self, worker, timeout, errors, returns)
         wall = _time.monotonic() - t0
 
         return JobResult(
@@ -523,6 +515,7 @@ class Engine:
             sent_counts=[c.sent_count for c in self.rank_contexts],
             sent_bytes=[c.sent_bytes for c in self.rank_contexts],
             wall_seconds=wall,
+            real_kills=list(self.real_kills),
         )
 
     def _run_cooperative(self, worker: Callable[[int], None],
@@ -538,49 +531,6 @@ class Engine:
             mb.bind_scheduler(self.scheduler)
         self.scheduler.run(worker, deadline=self._deadline, errors=errors)
 
-    def _run_threads(self, worker: Callable[[int], None], timeout: float,
-                     errors: List[Tuple[int, str]]) -> None:
-        """Run every rank on its own free-running OS thread."""
-        old_stack = threading.stack_size()
-        try:
-            threading.stack_size(1 << 20)
-        except (ValueError, RuntimeError):  # pragma: no cover - platform quirk
-            pass
-        threads = [threading.Thread(target=worker, args=(r,), daemon=True,
-                                    name=f"rank-{r}")
-                   for r in range(self.nprocs)]
-        try:
-            # Stack size takes effect when a thread *starts*, so the old
-            # value may only be restored after the start loop.
-            for t in threads:
-                t.start()
-        finally:
-            try:
-                threading.stack_size(old_stack)
-            except (ValueError, RuntimeError):  # pragma: no cover
-                pass
-        # Blocking waits have no timeout; a wall-clock watchdog wakes every
-        # mailbox at the deadline so blocked ranks observe the deadline
-        # (check_deadline) and unwind with DeadlockError.
-        watchdog = threading.Timer(timeout + 0.05, self._on_wall_deadline)
-        watchdog.daemon = True
-        watchdog.start()
-        # Join against one shared absolute deadline (watchdog + margin):
-        # per-thread timeouts would make a hung many-rank job wait
-        # O(nprocs * timeout) instead of O(timeout).
-        join_deadline = _time.monotonic() + timeout + 30.0
-        try:
-            for t in threads:
-                t.join(max(0.0, join_deadline - _time.monotonic()))
-        finally:
-            watchdog.cancel()
-
-        if any(t.is_alive() for t in threads):  # pragma: no cover - watchdog
-            self.abort(None)
-            for t in threads:
-                t.join(5.0)
-            errors.append((-1, "engine watchdog: some ranks never terminated"))
-
 
 def run_job(nprocs: int, main: Callable, args: Tuple = (),
             machine: MachineModel = TESTING,
@@ -589,10 +539,12 @@ def run_job(nprocs: int, main: Callable, args: Tuple = (),
             engine: Optional[str] = None) -> JobResult:
     """Convenience wrapper: build an :class:`Engine` and run one job.
 
-    ``engine`` selects the execution backend: ``"cooperative"`` (the
-    default — deterministic rank fibers, scales to paper process counts)
-    or ``"threads"`` (one OS thread per rank).  ``None`` defers to the
-    ``REPRO_ENGINE`` environment variable, then the default.
+    ``engine`` selects the execution backend by registry name
+    (:mod:`repro.mpi.backends`): ``"cooperative"`` (the default —
+    deterministic rank fibers, scales to paper process counts),
+    ``"sharded[:N]"``, ``"processes[:N]"``, or ``"threads"``.  ``None``
+    defers to the ``REPRO_ENGINE`` environment variable, then the
+    default.
     """
     eng = Engine(nprocs, machine=machine, fault_plan=fault_plan, seed=seed,
                  wall_timeout=wall_timeout, engine=engine)

@@ -165,6 +165,12 @@ class FaultSpec:
 class FaultPlan:
     """A set of fault specs plus the seeded RNG for probabilistic faults."""
 
+    #: real-kill delivery hook (class default None = simulated faults).
+    #: A backend with ``supports_real_kill`` sets this on its forked
+    #: child's plan copy to a ``hook(spec, rank, now)`` that SIGKILLs
+    #: the process at the fire site — no Python unwind happens at all.
+    _kill_hook = None
+
     def __init__(self, specs: Optional[List[FaultSpec]] = None, seed: int = 0):
         self.specs: Dict[int, List[FaultSpec]] = {}
         for spec in specs or []:
@@ -220,6 +226,18 @@ class FaultPlan:
 
     def _fire(self, spec: FaultSpec, rank: int, now: float) -> None:
         self.mark_fired(spec)
+        self.deliver(spec, rank, now)
+
+    def deliver(self, spec: FaultSpec, rank: int, now: float) -> None:
+        """Deliver an already-marked fault on the victim's own thread.
+
+        Simulated engines raise :class:`ProcessFailure` (the fail-stop
+        unwind).  Under a real-kill backend the hook SIGKILLs the whole
+        OS process at this exact point and never returns — the raise
+        below is then only the mypy-visible fallback.
+        """
+        if self._kill_hook is not None:
+            self._kill_hook(spec, rank, now)
         raise ProcessFailure(rank, now, spec.reason)
 
     def check(self, rank: int, op_count: int, now: float) -> None:

@@ -65,6 +65,15 @@ Cross-shard semantics beyond messages:
 
 See DESIGN.md section 10 for the full protocol and determinism
 argument.
+
+The processes backend (:mod:`repro.mpi.processes`) reuses this whole
+machinery in *real-kill* mode — ``run_sharded(..., real_kill=True)``:
+fault delivery becomes an actual SIGKILL of the victim's node process
+(a structural fault self-delivers at its fire site with a dying-breath
+``"dy"`` frame; a blocked ``at_time`` victim is killed by the master
+directly), every death is waitpid-confirmed, and a one-node job still
+forks instead of degenerating to the cooperative loop.  DESIGN.md §12
+documents the deltas.
 """
 
 from __future__ import annotations
@@ -226,7 +235,8 @@ class _ShardWorker:
     """Everything one forked shard process does."""
 
     def __init__(self, engine, shard: int, ranks: List[int],
-                 rfd: int, wfd: int, time_specs: List, deadline: float):
+                 rfd: int, wfd: int, time_specs: List, deadline: float,
+                 real_kill: bool = False):
         self.engine = engine
         self.shard = shard
         self.ranks = ranks
@@ -236,6 +246,9 @@ class _ShardWorker:
         self.reader = os.fdopen(rfd, "rb", buffering=0)
         self.time_specs = time_specs
         self.deadline = deadline
+        #: faults SIGKILL this process instead of unwinding (processes
+        #: backend); see :meth:`_real_die`
+        self.real_kill = real_kill
         #: epoch of the last master message processed, echoed in every
         #: status so the master can spot statuses written before a grant
         self.epoch = 0
@@ -339,12 +352,41 @@ class _ShardWorker:
                 self.engine.abort(None)
                 return
 
+    # -- real-kill fault delivery -------------------------------------------
+    def _real_die(self, spec, rank: int, now: float) -> None:
+        """Fault-plan kill hook: SIGKILL this node process at the fire
+        site.
+
+        One dying-breath ``"dy"`` frame first — injection *bookkeeping*
+        only (victim rank, virtual fire time, fired spec indices), never
+        application or storage state, so recovery can never depend on a
+        message a real crash would not have sent.  Then the process
+        kills itself with SIGKILL: no Python unwind, no ``finally``
+        blocks, no flushes — staged checkpoint state not yet durable is
+        genuinely lost.  Never returns.
+        """
+        plan = self.engine.fault_plan
+        index = {id(s): i for i, s in enumerate(plan.all_specs())}
+        fired = sorted(index[id(s)] for s in plan.fired if id(s) in index)
+        try:
+            _write_msg(self.wfd, ("dy", self.shard,
+                                  (rank, now, spec.reason), fired))
+        except OSError:  # pragma: no cover - master already gone
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+        os._exit(1)  # pragma: no cover - unreachable (SIGKILL lands first)
+
     # -- lifecycle ----------------------------------------------------------
     def install(self) -> None:
         """Rewire the forked engine copy for this shard."""
         engine = self.engine
         self.sched = _ShardScheduler(engine, self.ranks, self)
         engine.scheduler = self.sched
+        if self.real_kill:
+            # Post-fork, child-only: the parent's plan keeps simulated
+            # delivery, this copy SIGKILLs at every fire site (check(),
+            # note_*(), and the scheduled-fault delivery path alike).
+            engine.fault_plan._kill_hook = self._real_die
         for r in range(engine.nprocs):
             if r in self.local:
                 engine.mailboxes[r].bind_scheduler(self.sched)
@@ -370,6 +412,17 @@ class _ShardWorker:
             returns: List[Any], errors: List) -> None:
         self.sched.run(body, deadline=self.deadline, errors=errors)
         engine = self.engine
+        if self.real_kill and engine.abort_event.is_set():
+            # Surviving nodes of a real kill drain their staged tails
+            # before exiting — the same survivors-flush semantics the
+            # simulated engines apply in store.on_job_end (which cannot
+            # reach state staged inside this process).  The *killed*
+            # node never gets here: its staged tail is lost whole.
+            for _pos, store in self.stores:
+                try:
+                    store.flush()
+                except Exception:  # noqa: BLE001 - crash-grade abandon
+                    pass
         spec_index = {id(s): i
                       for i, s in enumerate(engine.fault_plan.all_specs())}
         report = {
@@ -408,12 +461,13 @@ class _ShardWorker:
 def _worker_main(engine, shard: int, ranks: List[int], rfd: int, wfd: int,
                  time_specs: List, deadline: float,
                  body: Callable[[int], None],
-                 returns: List[Any], errors: List) -> None:
+                 returns: List[Any], errors: List,
+                 real_kill: bool = False) -> None:
     """Child-process entry; never returns (``os._exit``)."""
     status = 0
     try:
         worker = _ShardWorker(engine, shard, ranks, rfd, wfd,
-                              time_specs, deadline)
+                              time_specs, deadline, real_kill=real_kill)
         worker.install()
         worker.run(body, returns, errors)
     except BaseException:
@@ -432,7 +486,7 @@ def _worker_main(engine, shard: int, ranks: List[int], rfd: int, wfd: int,
 
 class _ShardHandle:
     __slots__ = ("shard", "ranks", "pid", "rfd", "wfd", "reader", "state",
-                 "blocked", "report", "notices_sent", "epoch")
+                 "blocked", "report", "notices_sent", "epoch", "killed")
 
     def __init__(self, shard: int, ranks: List[int]):
         self.shard = shard
@@ -450,21 +504,37 @@ class _ShardHandle:
         #: echoing an older epoch was written before the wake and must
         #: not regress the shard's state (see absorb())
         self.epoch = 0
+        #: this shard's process died (or was killed) by a real SIGKILL
+        #: fault delivery; already reaped, never an error at EOF
+        self.killed = False
 
 
 def run_sharded(engine, body: Callable[[int], None], timeout: float,
-                errors: List, returns: List[Any]) -> None:
+                errors: List, returns: List[Any], *,
+                n_shards: Optional[int] = None,
+                real_kill: bool = False) -> None:
     """Fork one worker per shard and route cross-shard traffic.
 
     Mutates ``errors``/``returns`` and the engine's rank contexts in
     place, exactly like the other backends, so ``Engine.run`` assembles
     the :class:`JobResult` without knowing the backend.
+
+    ``real_kill=True`` is the processes backend (:mod:`repro.mpi.
+    processes`): fault specs are delivered as actual SIGKILLs to the
+    victim's node process — structural faults self-deliver at the fire
+    site inside the child (one dying-breath ``"dy"`` frame, then
+    SIGKILL), blocked ``at_time`` victims are killed by this
+    coordinator directly — and every death is confirmed by waitpid
+    status before its evidence lands in ``engine.real_kills``.
     """
     shards = plan_shards(engine.nprocs, engine.machine.procs_per_node,
-                         engine.shard_count())
-    if len(shards) == 1:
+                         engine.shard_count() if n_shards is None
+                         else n_shards)
+    if len(shards) == 1 and not real_kill:
         # Exact reduction: one shard IS the cooperative engine — same
-        # scheduler, same schedule, same switch count, no fork.
+        # scheduler, same schedule, same switch count, no fork.  A
+        # real-kill run must still fork: SIGKILLing the caller is not
+        # an option.
         engine._run_cooperative(body, errors)
         return
 
@@ -502,7 +572,8 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
                     os.close(other.wfd)
                     os.close(other.rfd)
             _worker_main(engine, h.shard, h.ranks, p2c_r, c2p_w,
-                         time_specs, deadline, body, returns, errors)
+                         time_specs, deadline, body, returns, errors,
+                         real_kill=real_kill)
             raise SystemExit(1)  # pragma: no cover - unreachable
         os.close(p2c_r)
         os.close(c2p_w)
@@ -514,6 +585,62 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
     notices_log: List[Tuple[int, int]] = []
     notified_specs = [False] * len(time_specs)
     clock_high = 0.0
+    #: fail-stop records from real kills (child self-kills reported by
+    #: "dy" frames, plus coordinator-delivered at_time kills); folded
+    #: into engine.failure by _merge — a killed shard sends no report
+    real_failures: List[ProcessFailure] = []
+
+    def confirm_death(h: _ShardHandle) -> Optional[int]:
+        """Reap a killed node process; waitpid-confirmed termination
+        signal (the acceptance evidence), or None if it somehow exited
+        on its own.  Marks the handle so _reap skips the pid."""
+        pid, h.pid = h.pid, -1  # -1: _reap must not waitpid again
+        try:
+            _pid, status = os.waitpid(pid, 0)
+        except ChildProcessError:  # pragma: no cover - reaped elsewhere
+            return None
+        return os.WTERMSIG(status) if os.WIFSIGNALED(status) else None
+
+    def record_kill(h: _ShardHandle, rank: int, now: float, reason: str,
+                    pid: int, termsig: Optional[int]) -> None:
+        """Fold one confirmed real kill into the master-side run state."""
+        h.killed = True
+        h.state = _EXITED
+        real_failures.append(ProcessFailure(rank, now, reason))
+        engine.real_kills.append({
+            "rank": rank, "shard": h.shard, "pid": pid,
+            "termsig": termsig,
+            "sigkill": termsig == signal.SIGKILL,
+            "time": now, "reason": reason,
+        })
+        window.drop_dest(h.shard)
+        flag.set()
+        # Wake blocked survivors immediately: they observe the abort
+        # flag at their next poll and unwind — fail-stop detection with
+        # no dependence on the select loop's timeout.
+        for other in handles:
+            if other.state == _WAIT:
+                post(other, "wk")
+                other.state = _BUSY
+
+    def strike(h: _ShardHandle, spec) -> None:
+        """Coordinator-delivered at_time kill: SIGKILL the node process.
+
+        Mirrors the cooperative rule that an ``at_time`` fault fires
+        when *any* rank's clock crosses it: a victim blocked at the
+        quiescence barrier cannot self-deliver, so the coordinator
+        kills its process directly.  The failure record uses the spec's
+        own time — deterministic, like the blocked victim's frozen
+        clock under the simulated engines.
+        """
+        pid = h.pid
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - lost the race
+            pass
+        termsig = confirm_death(h)
+        engine.fault_plan.mark_fired(spec)
+        record_kill(h, spec.rank, spec.at_time, spec.reason, pid, termsig)
 
     def post(h: _ShardHandle, *parts) -> None:
         """Send a waking message, stamped with a bumped shard epoch.
@@ -545,16 +672,25 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
                     h.state = _BUSY
             return
         # Virtual-time fault notices: a fault comes due when ANY rank's
-        # clock crosses it (the cooperative engine's rule).
+        # clock crosses it (the cooperative engine's rule).  Simulated
+        # delivery posts a notice for the victim rank to raise; a real-
+        # kill run SIGKILLs the victim's node process from here instead
+        # (the victim may be blocked at the barrier, unable to self-
+        # deliver; a *running* victim usually beats us to it via its own
+        # fault check, which also counts as a real kill — see "dy").
         for i, spec in enumerate(time_specs):
             if notified_specs[i] or spec.at_time > clock_high:
                 continue
             notified_specs[i] = True
             victim = handles[shard_of_rank[spec.rank]]
-            if victim.state != _EXITED:
-                post(victim, "fd", i)
-                if victim.state == _WAIT:
-                    victim.state = _BUSY
+            if victim.state == _EXITED:
+                continue
+            if real_kill:
+                strike(victim, spec)
+                return  # the flag is set; next pass wakes the others
+            post(victim, "fd", i)
+            if victim.state == _WAIT:
+                victim.state = _BUSY
         if any(h.state == _BUSY for h in handles):
             return  # strict epochs: release only at full quiescence
         if not live:
@@ -624,6 +760,17 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
                 window.send(src, env.dest, env.avail_time, (src, env))
             notices_log.extend(report["notices"])
             window.drop_dest(h.shard)
+        elif tag == "dy":
+            # Dying breath of a real-kill child: it fired a fault spec
+            # at its deterministic fire site, reported the injection
+            # bookkeeping, and SIGKILLed itself — confirm the death by
+            # waitpid before trusting the frame.
+            _t, _shard, (rank, now, reason), fired_idx = msg
+            pid = h.pid
+            termsig = confirm_death(h)
+            for idx in fired_idx:
+                engine.fault_plan.mark_fired(spec_list[idx])
+            record_kill(h, rank, now, reason, pid, termsig)
         else:  # "cr" — the shard process itself crashed
             _t, _shard, tb = msg
             h.state = _EXITED
@@ -662,7 +809,8 @@ def run_sharded(engine, body: Callable[[int], None], timeout: float,
     finally:
         _reap(handles, errors)
 
-    _merge(engine, handles, spec_list, errors, returns)
+    _merge(engine, handles, spec_list, errors, returns,
+           extra_failures=real_failures)
 
 
 def _wait_readable_any(fds: List[int], timeout: float) -> bool:
@@ -686,6 +834,14 @@ def _reap(handles: List[_ShardHandle], errors: List) -> None:
     deadline = _time.monotonic() + 5.0
     for h in handles:
         if h.pid <= 0:
+            # Already reaped (a confirmed real kill) or never forked;
+            # still close the read end so a long campaign of kills
+            # cannot leak descriptors.
+            if h.reader is not None:
+                try:
+                    h.reader.close()
+                except OSError:  # pragma: no cover
+                    pass
             continue
         while True:
             try:
@@ -714,9 +870,14 @@ def _reap(handles: List[_ShardHandle], errors: List) -> None:
 
 
 def _merge(engine, handles: List[_ShardHandle], spec_list: List,
-           errors: List, returns: List[Any]) -> None:
-    """Fold shard reports back into the parent engine's run state."""
-    failures: List[ProcessFailure] = []
+           errors: List, returns: List[Any],
+           extra_failures: Optional[List[ProcessFailure]] = None) -> None:
+    """Fold shard reports back into the parent engine's run state.
+
+    ``extra_failures`` carries real-kill fail-stop records: a SIGKILLed
+    shard sends no exit report, so its failure arrives out of band.
+    """
+    failures: List[ProcessFailure] = list(extra_failures or ())
     store_ops: Dict[int, List[Tuple[int, List]]] = {}
     for h in handles:
         report = h.report

@@ -41,7 +41,7 @@ import itertools
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import (
     Any, AsyncIterator, Callable, Dict, List, Optional, Tuple,
 )
@@ -116,6 +116,11 @@ class JobSpec:
             raise ValueError(f"unknown storage flavor {self.storage!r}")
         if self.kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.engine is not None:
+            # the registry's canonical error, at construction time —
+            # a bad spelling never reaches the queue (same message the
+            # study CLIs print, source: repro.mpi.backends)
+            resolve_backend(self.engine)
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if not (0.0 < self.interval_frac <= 1.0):
@@ -383,12 +388,21 @@ class CampaignService:
 
     def __init__(self, backend: Optional[StorageBackend] = None,
                  queue_limit: int = 1024, workers: int = 4,
-                 cache: bool = True):
+                 cache: bool = True,
+                 default_engine: Optional[str] = None):
         #: the shared physical medium all tenants' namespaces live on
         self.backend = backend if backend is not None else InMemoryStorage()
         self.queue_limit = queue_limit
         self.workers = workers
         self.cache_enabled = cache
+        #: execution backend applied to submissions that leave ``engine``
+        #: unset (the process-backend executor option: ``"processes"``
+        #: moves each job's simulation into forked OS processes, so the
+        #: service's worker threads only coordinate and campaign
+        #: throughput is not GIL-bound).  Resolved — and so validated —
+        #: here, at service construction.
+        self.default_engine = (resolve_backend(default_engine)
+                               if default_engine is not None else None)
         self._caches: Dict[str, ResultCache] = {}
         self._ids = itertools.count(1)
         self._queue: Optional[asyncio.Queue] = None
@@ -439,6 +453,11 @@ class CampaignService:
         if self._queue is None:
             raise RuntimeError("service not started")
         tenant_backend(self.backend, tenant)   # validates the name
+        if spec.engine is None and self.default_engine is not None:
+            # applied before the job is created so the cache key, the
+            # progress events, and the executed cells all agree on the
+            # engine actually used
+            spec = replace(spec, engine=self.default_engine)
         job = Job(next(self._ids), tenant, spec)
         await self._queue.put(job)
         return job
